@@ -1,0 +1,30 @@
+"""Benchmark harness support.
+
+Each benchmark runs one figure's experiment under pytest-benchmark timing
+and writes the reproduced series to ``benchmarks/results/<figure>.txt`` so
+the output survives pytest's capture.  EXPERIMENTS.md embeds these files'
+contents as the measured side of the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Write a FigureResult's rendering to the results directory."""
+
+    def _save(result) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = result.figure.lower().replace(" ", "").replace("figure", "fig")
+        path = RESULTS_DIR / f"{name}.txt"
+        text = result.render()
+        path.write_text(text + "\n")
+        return text
+
+    return _save

@@ -1,0 +1,57 @@
+"""Co-online fraction bench: what coscheduling actually changes.
+
+The paper argues coscheduling makes "VCPUs of the VM act like CPUs of a
+physical machine".  The direct observable is the co-online fraction —
+the share of a VM's any-VCPU-online time during which *all* its VCPUs
+were online together.  This bench measures it for every scheduler under
+the LU @ 22.2% scenario, alongside the runtime it buys.
+"""
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.experiments.setup import weight_for_rate
+from repro.experiments.setup import Testbed as SimTestbed
+from repro.metrics.timeline import TimelineCollector
+from repro.workloads.nas import NasBenchmark
+
+RATE = 2 / 9
+SCALE = 0.5
+
+
+def run(scheduler, seed=1, monitored=None):
+    tb = SimTestbed(scheduler=scheduler, seed=seed,
+                    sched_config=SchedulerConfig(work_conserving=False))
+    timeline = TimelineCollector(tb.trace, tb.sim)
+    tb.add_domain0()
+    wl = NasBenchmark.by_name("LU", scale=SCALE)
+    tb.add_vm("V1", weight=weight_for_rate(RATE), workload=wl,
+              monitored=monitored, concurrent_hint=True)
+    ok = tb.run_until_workloads_done(["V1"],
+                                     deadline_cycles=units.seconds(240))
+    assert ok
+    timeline.close()
+    return (units.to_seconds(tb.guests["V1"].finished_at),
+            timeline.co_online_fraction("V1", parties=4))
+
+
+def test_co_online_fraction_by_scheduler(benchmark):
+    def measure():
+        out = {}
+        for sched in ("credit", "con", "asman"):
+            rts, fracs = [], []
+            for seed in (1, 2):
+                rt, frac = run(sched, seed)
+                rts.append(rt)
+                fracs.append(frac)
+            out[sched] = (sum(rts) / len(rts), sum(fracs) / len(fracs))
+        return out
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nLU @ 22.2%: scheduler -> (runtime_s, co-online fraction)")
+    for sched, (rt, frac) in results.items():
+        print(f"  {sched:7s} rt={rt:.3f}s  co-online={frac:.3f}")
+    # The gang scheduler keeps the gang together far more than Credit.
+    assert results["con"][1] > results["credit"][1] + 0.1
+    # ASMan sits between Credit and CON: it coschedules on demand.
+    assert results["credit"][1] <= results["asman"][1] + 0.05
+    assert results["asman"][1] <= results["con"][1] + 0.05

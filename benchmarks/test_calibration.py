@@ -1,0 +1,17 @@
+"""Testbed calibration bench: the preconditions for every other bench.
+
+Validates (and times) the probes that EXPERIMENTS.md's numbers rest on:
+Equation (1) weight shares, Equation (2) online rates, comparable base
+runtimes, and cycle-exact determinism.
+"""
+
+from repro.experiments.calibration import calibrate
+
+
+def test_calibration_suite(benchmark):
+    report = benchmark.pedantic(lambda: calibrate(full=True),
+                                rounds=1, iterations=1)
+    print("\n" + report.render())
+    assert report.ok, "calibration failures:\n" + "\n".join(
+        f"{p.name}: expected {p.expected}, measured {p.measured}"
+        for p in report.failures())

@@ -1,0 +1,81 @@
+"""Figures 2 and 8: per-spinlock waiting-time detail.
+
+Figure 2 (Credit): at 100% all waits sit in the 2^10..2^15 band; as the
+online rate drops, a tail above 2^25 appears and the long waits cluster
+("occur in some neighboring spinlocks").  Figure 8 (ASMan) shows the
+same workload with the tail largely removed.
+"""
+
+from repro import units
+from repro.asman.locality import LocalityAnalyzer
+from repro.experiments import figures as F
+
+
+def test_fig02_wait_details_credit(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: F.fig02_wait_details("credit", scale=0.6, seed=1),
+        rounds=1, iterations=1)
+    # The raw scatter is large; persist the summary notes + sizes instead.
+    for key in list(result.series):
+        result.notes[f"n_{key}"] = float(len(result.series[key]))
+        tail = sum(1 for _, w in result.series[key] if w > 20.0)
+        result.notes[f"tail_over_2^20_{key}"] = float(tail)
+        del result.series[key]
+    print(save_result(result))
+    # At 100% the maximum wait stays in the short-contention band.
+    assert result.notes["max_log2_100"] < 20.0
+    # At 22.2% the tail reaches scheduling timescales (>= 2^24).
+    assert result.notes["max_log2_22.2"] >= 24.0
+
+
+def test_fig02_long_waits_cluster(benchmark, save_result):
+    """Paper observation (4): long waits arrive in bursts (localities)."""
+
+    def run():
+        from repro.experiments.runner import run_single_vm
+        from repro.workloads.nas import NasBenchmark
+        times = []
+        for seed in (1, 3, 5):
+            r = run_single_vm(
+                lambda: NasBenchmark.by_name("LU", scale=0.6),
+                "credit", online_rate=2 / 9, seed=seed)
+            times.append(r.over_threshold_times)
+        return times
+
+    all_times = benchmark.pedantic(run, rounds=1, iterations=1)
+    analyzer = LocalityAnalyzer(split_gap=units.ms(50))
+    bursts = [analyzer.burstiness(ts) for ts in all_times if ts]
+    assert bursts, "need at least one run with over-threshold waits"
+    # Mean events per locality above 1 => clustering exists.
+    assert max(bursts) > 1.0
+
+
+def test_fig08_wait_details_asman(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: F.fig08_wait_details_asman(scale=0.6, seed=1),
+        rounds=1, iterations=1)
+    for key in list(result.series):
+        result.notes[f"n_{key}"] = float(len(result.series[key]))
+        del result.series[key]
+    print(save_result(result))
+    assert result.notes["max_log2_100"] < 20.0
+
+
+def test_fig08_asman_reduces_tail(benchmark, save_result):
+    """Comparing Figs 2 and 8: ASMan avoids many over-threshold waits."""
+
+    def run():
+        from repro.experiments.runner import run_single_vm
+        from repro.workloads.nas import NasBenchmark
+        totals = {"credit": 0.0, "asman": 0.0}
+        for sched in totals:
+            for seed in (1, 3, 5):
+                r = run_single_vm(
+                    lambda: NasBenchmark.by_name("LU", scale=0.6),
+                    sched, online_rate=2 / 9, seed=seed)
+                totals[sched] += r.spin_summary["over_2^20"]
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert totals["credit"] > 0
+    assert totals["asman"] <= totals["credit"]

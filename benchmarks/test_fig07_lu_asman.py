@@ -1,0 +1,24 @@
+"""Figure 7: LU run time in VM V1 — Credit vs ASMan.
+
+Paper shape: identical at 100%; as the online rate falls, Credit
+deteriorates super-linearly while ASMan stays close to the expected
+1/rate growth, saving a substantial fraction of the run time at 22.2%.
+"""
+
+from repro.experiments import figures as F
+
+
+def test_fig07_lu_credit_vs_asman(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: F.fig07_lu_comparison(scale=0.6, seeds=(1, 2, 3)),
+        rounds=1, iterations=1)
+    print(save_result(result))
+    credit = dict(result.series["credit"])
+    asman = dict(result.series["asman"])
+    # Same performance at 100% online rate.
+    assert abs(asman[100.0] - credit[100.0]) / credit[100.0] < 0.03
+    # ASMan no slower anywhere, and strictly better at the lowest rate.
+    for rate in (66.7, 40.0, 22.2):
+        assert asman[rate] <= credit[rate] * 1.03
+    assert asman[22.2] < credit[22.2]
+    assert result.notes["asman_saving_at_22.2%"] > 0.0

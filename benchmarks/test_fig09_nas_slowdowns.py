@@ -1,0 +1,41 @@
+"""Figure 9: slowdowns of all seven NAS benchmarks.
+
+(a)-(c): per-benchmark slowdown at 66.7/40/22.2% for Credit and ASMan;
+(d): the average slowdown.  Paper shape: ASMan outperforms Credit "in
+all aspects while varying benchmarks and the VCPU online rate"; EP (no
+synchronisation) sits near the ideal 1/rate for both; LU suffers most
+under Credit.
+"""
+
+from repro.experiments import figures as F
+from repro.metrics.runtime import ideal_slowdown
+from repro.workloads.nas import NAS_PROFILES
+
+BENCHMARKS = list(NAS_PROFILES)  # BT CG EP FT MG SP LU
+
+
+def test_fig09_all_nas_slowdowns(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: F.fig09_nas_slowdowns(scale=0.4, seeds=(1, 2)),
+        rounds=1, iterations=1)
+    print(save_result(result))
+
+    names = BENCHMARKS
+    idx = {n: i for i, n in enumerate(names)}
+
+    # (d) the average slowdown: ASMan <= Credit at every reduced rate.
+    avg_credit = dict(result.series["avg_credit"])
+    avg_asman = dict(result.series["avg_asman"])
+    for rate_label in (66.7, 40.0, 22.2):
+        assert avg_asman[rate_label] <= avg_credit[rate_label] * 1.03
+
+    # At the lowest rate: EP near ideal under Credit; LU above EP.
+    low_credit = dict(result.series["credit_rate_22.2%"])
+    assert low_credit[idx["EP"]] < ideal_slowdown(2 / 9) * 1.10
+    assert low_credit[idx["LU"]] > low_credit[idx["EP"]]
+
+    # Slowdowns grow with decreasing rate for every benchmark (Credit).
+    for name in names:
+        series = [dict(result.series[f"credit_rate_{lbl}%"])[idx[name]]
+                  for lbl in ("66.7", "40", "22.2")]
+        assert series == sorted(series)

@@ -1,0 +1,30 @@
+"""Figure 10: SPECjbb2005 throughput in VM V1.
+
+(a)-(c): bops vs warehouse count (1..8) at 66.7/40/22.2%; (d): the
+SPECjbb score (mean bops over warehouses >= 4 VCPUs).  Paper shape:
+throughput rises until the warehouse count reaches the VCPU count and
+then flattens; ASMan's score is never below Credit's and improves at
+low rates (up to ~26% in the paper).
+"""
+
+from repro.experiments import figures as F
+
+
+def test_fig10_specjbb_throughput(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: F.fig10_specjbb(window_ms=1200.0, seed=1),
+        rounds=1, iterations=1)
+    print(save_result(result))
+
+    for rate_label in ("66.7", "40", "22.2"):
+        for sched in ("credit", "asman"):
+            series = dict(result.series[f"{sched}_rate_{rate_label}%"])
+            # Throughput saturates by 4 warehouses: w=8 is within noise
+            # of w=4, and w=4 is no worse than w=1.
+            assert series[4.0] >= series[1.0] * 0.98
+            assert series[8.0] >= series[4.0] * 0.85
+
+    score_credit = dict(result.series["score_credit"])
+    score_asman = dict(result.series["score_asman"])
+    for rate_label in (66.7, 40.0, 22.2):
+        assert score_asman[rate_label] >= score_credit[rate_label] * 0.97

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Consolidation churn: VMs come and go while a parallel guest runs.
+
+A long-running LU guest shares the host with transient throughput VMs
+that are hot-plugged and destroyed every few hundred milliseconds — the
+cloud reality behind the paper's motivation.  The example reports the
+LU guest's progress per phase and shows that ASMan keeps reacting as the
+contention level changes.
+
+Usage::
+
+    python examples/consolidation_churn.py
+"""
+
+from repro import units
+from repro.asman.vcrd import VcrdTracker
+from repro.config import SchedulerConfig
+from repro.experiments import Testbed
+from repro.metrics.report import Table
+from repro.workloads import NasBenchmark, SpecCpuRateWorkload
+
+PHASE_MS = 400.0
+
+
+def run(scheduler: str):
+    tb = Testbed(scheduler=scheduler, num_pcpus=4, seed=1,
+                 sched_config=SchedulerConfig(work_conserving=True))
+    tracker = VcrdTracker(tb.trace, tb.sim)
+    lu = NasBenchmark.by_name("LU", scale=2.0)
+    tb.add_vm("parallel", num_vcpus=4, workload=lu, concurrent_hint=True)
+    tb.start()
+
+    progress = []
+    tenants = 0
+    for phase in range(6):
+        crowded = phase % 2 == 1
+        if crowded:
+            tenants += 1
+            tb.add_vm(f"tenant{tenants}", num_vcpus=4,
+                      workload=SpecCpuRateWorkload.by_name(
+                          "256.bzip2", scale=5.0))
+        before = sum(t.compute_cycles_done
+                     for t in tb.guests["parallel"].tasks)
+        tb.run_for(units.ms(PHASE_MS))
+        after = sum(t.compute_cycles_done
+                    for t in tb.guests["parallel"].tasks)
+        progress.append(("crowded" if crowded else "alone",
+                         units.to_ms(after - before)))
+        if crowded:
+            tb.remove_vm(f"tenant{tenants}")
+    return progress, tracker.high_fraction("parallel")
+
+
+def main() -> None:
+    print("LU guest under tenant churn (4 PCPUs, work-conserving)\n")
+    for scheduler in ("credit", "asman"):
+        progress, high = run(scheduler)
+        table = Table(["phase", "contention", "lu_compute_ms"],
+                      title=f"{scheduler} (VCRD-high fraction "
+                            f"{high:.2f})")
+        for i, (label, ms_done) in enumerate(progress):
+            table.add_row(i, label, ms_done)
+        print(table)
+        print()
+    print("Alone, the guest gets the whole machine; crowded phases halve "
+          "its progress (fair\nsharing) — the schedulers differ in how "
+          "much of the crowded phases' progress\nsurvives the "
+          "synchronisation tax.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Modelling your own application and watching ASMan learn.
+
+Builds a custom bursty workload with :class:`SyntheticWorkload` — compute
+phases alternating with intense spinlock/barrier phases — runs it at a
+low online rate under ASMan, and prints the Monitoring Module's view:
+the over-threshold detections, the Roth–Erev learner's evolving duration
+estimates, and the fraction of time the VM spent coscheduled.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+from repro import units
+from repro.asman.vcrd import VcrdTracker
+from repro.config import SchedulerConfig
+from repro.experiments import Testbed, weight_for_rate
+from repro.metrics.report import Table
+from repro.workloads import PhaseSpec, SyntheticWorkload
+
+RATE = 2 / 9
+
+
+def build_workload() -> SyntheticWorkload:
+    """Alternating quiet and synchronisation-heavy phases."""
+    phases = []
+    for _ in range(6):
+        # A quiet, embarrassingly parallel stretch...
+        phases.append(PhaseSpec(compute=units.ms(40), repeats=4,
+                                jitter_cv=0.1))
+        # ...then a burst of fine-grained locking and barriers.
+        phases.append(PhaseSpec(compute=units.us(150), repeats=200,
+                                sync="critical", critical_hold=30_000,
+                                jitter_cv=0.2))
+        phases.append(PhaseSpec(compute=units.us(300), repeats=20,
+                                sync="barrier", jitter_cv=0.2))
+    return SyntheticWorkload("bursty", threads=4, phases=phases, locks=4)
+
+
+def main() -> None:
+    print(f"Custom bursty workload at {RATE:.1%} online rate under ASMan\n")
+    tb = Testbed(scheduler="asman", seed=1,
+                 sched_config=SchedulerConfig(work_conserving=False))
+    tracker = VcrdTracker(tb.trace, tb.sim)
+    tb.add_domain0()
+    tb.add_vm("V1", weight=weight_for_rate(RATE), workload=build_workload())
+    ok = tb.run_until_workloads_done(["V1"],
+                                     deadline_cycles=units.seconds(240))
+    assert ok, "workload did not finish"
+
+    monitor = tb.monitors["V1"]
+    stats = monitor.stats()
+    print(f"runtime: {units.to_seconds(tb.guests['V1'].finished_at):.2f} s "
+          f"(measured online rate "
+          f"{tb.measured_online_rate('V1'):.3f})\n")
+
+    print("Monitoring Module:")
+    for key, value in stats.items():
+        print(f"  {key:24s} {value}")
+    print(f"  coscheduled fraction     {tracker.high_fraction('V1'):.3f}")
+
+    if monitor.estimates:
+        table = Table(["time_s", "estimated_lasting_ms"],
+                      title="\nVCRD adjusting events (the learner's "
+                            "estimates)")
+        for t, est in monitor.estimates:
+            table.add_row(units.to_seconds(t), units.to_ms(est))
+        print(table)
+    else:
+        print("\nNo over-threshold spinlocks occurred — at this scale the "
+              "run was too aligned;\ntry a lower rate or more repeats.")
+
+    spin = tb.spin_stats("V1")
+    print(f"\nspinlock waits recorded: {len(spin)}, "
+          f">2^20: {spin.count_above(20)}, "
+          f"max log2(wait): {spin.summary()['max_log2']:.1f}")
+
+
+if __name__ == "__main__":
+    main()

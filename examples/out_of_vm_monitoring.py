@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Out-of-VM VCRD monitoring — running the paper's future work.
+
+Section 5.4 of the paper: "It is still an open issue to monitor the VCRD
+of a VM from outside the VM.  However, the VMM may find hints from
+running statuses of CPUs."  This example runs LU at a 22.2% online rate
+three ways — unmonitored ASMan, the paper's in-guest Monitoring Module,
+and the out-of-VM inference monitor — and compares run time, detection
+activity, and the number of long spinlock waits each leaves behind.
+
+Usage::
+
+    python examples/out_of_vm_monitoring.py
+"""
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.experiments import Testbed, weight_for_rate
+from repro.metrics.report import Table
+from repro.workloads import NasBenchmark
+
+RATE = 2 / 9
+SCALE = 0.6
+
+
+def run(monitored):
+    tb = Testbed(scheduler="asman", seed=1,
+                 sched_config=SchedulerConfig(work_conserving=False))
+    tb.add_domain0()
+    wl = NasBenchmark.by_name("LU", scale=SCALE)
+    tb.add_vm("V1", weight=weight_for_rate(RATE), workload=wl,
+              monitored=monitored)
+    ok = tb.run_until_workloads_done(["V1"],
+                                     deadline_cycles=units.seconds(240))
+    assert ok
+    runtime = units.to_seconds(tb.guests["V1"].finished_at)
+    waits = tb.spin_stats("V1").count_above(20)
+    if monitored in (True, "guest"):
+        detections = tb.monitors["V1"].adjusting_events
+    elif monitored == "external":
+        detections = tb.external_monitors["V1"].raises
+    else:
+        detections = 0
+    return runtime, waits, detections
+
+
+def main() -> None:
+    print(f"LU at {RATE:.1%} VCPU online rate under the Adaptive "
+          f"Scheduler, three detector options\n")
+    table = Table(["detector", "guest modified?", "runtime_s",
+                   "waits>2^20", "detections"])
+    rows = [
+        ("none", "no", False),
+        ("in-guest Monitoring Module", "yes", "guest"),
+        ("out-of-VM inference", "no", "external"),
+    ]
+    for label, modified, monitored in rows:
+        rt, waits, det = run(monitored)
+        table.add_row(label, modified, rt, int(waits), det)
+    print(table)
+    print(
+        "\nThe in-guest module reacts to individual over-threshold "
+        "spinlocks (precise, but\nneeds a kernel patch); the out-of-VM "
+        "monitor infers synchronisation from VCPU\nsleep/wake churn and "
+        "progress skew — no guest modification, window-granular\n"
+        "reaction.  Both recover most of the unmonitored baseline's "
+        "loss.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "Dynamic Adaptive Scheduling for Virtual
+Machines" (Weng, Liu, Yu, Li — HPDC 2011).
+
+The package simulates a virtualized multi-core system faithfully enough to
+reproduce the paper's phenomenon (lock-holder preemption inflating guest
+spinlock waits) and its fix (ASMan: VCRD-driven adaptive coscheduling).
+
+Layer map (bottom-up):
+
+* :mod:`repro.sim`        — discrete-event engine, RNG streams, tracing
+* :mod:`repro.hardware`   — PCPUs, topology, IPIs
+* :mod:`repro.guest`      — guest kernel: tasks, spinlocks, semaphores,
+  futexes, barriers
+* :mod:`repro.vmm`        — VMs/VCPUs, hypercalls, the three schedulers
+  (Credit, CON, ASMan)
+* :mod:`repro.asman`      — Monitoring Module, locality model, Roth–Erev
+  learner, VCRD tracking
+* :mod:`repro.workloads`  — NAS / SPECjbb / SPEC CPU rate models
+* :mod:`repro.metrics`    — spinlock stats, slowdowns, throughput, fairness
+* :mod:`repro.experiments`— testbed builder and per-figure drivers
+
+Quickstart::
+
+    from repro.experiments import run_single_vm
+    from repro.workloads import NasBenchmark
+
+    result = run_single_vm(lambda: NasBenchmark.by_name("LU", scale=0.2),
+                           scheduler="asman", online_rate=0.4)
+    print(result.runtime_seconds, result.spin_summary)
+"""
+
+from repro import units
+from repro.config import (GuestConfig, LearningConfig, MachineConfig,
+                          MonitorConfig, SchedulerConfig, VMConfig,
+                          vcpu_online_rate, weight_proportion)
+from repro.errors import (ConfigurationError, GuestStateError, ReproError,
+                          SchedulerInvariantError, SimulationError,
+                          WorkloadError)
+from repro.experiments import (Testbed, run_multi_vm, run_single_vm,
+                               run_specjbb, weight_for_rate, PAPER_RATES)
+from repro.sim import Simulator, TraceBus, RngStreams
+from repro.vmm import (VM, VCPU, VCRD, AdaptiveScheduler, CreditScheduler,
+                       StaticCoscheduler)
+from repro.workloads import (NasBenchmark, SpecCpuRateWorkload,
+                             SpecJbbWorkload, SyntheticWorkload)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "units",
+    # config
+    "GuestConfig", "LearningConfig", "MachineConfig", "MonitorConfig",
+    "SchedulerConfig", "VMConfig", "vcpu_online_rate", "weight_proportion",
+    # errors
+    "ReproError", "ConfigurationError", "SimulationError",
+    "SchedulerInvariantError", "GuestStateError", "WorkloadError",
+    # experiments
+    "Testbed", "run_single_vm", "run_multi_vm", "run_specjbb",
+    "weight_for_rate", "PAPER_RATES",
+    # sim
+    "Simulator", "TraceBus", "RngStreams",
+    # vmm
+    "VM", "VCPU", "VCRD",
+    "CreditScheduler", "AdaptiveScheduler", "StaticCoscheduler",
+    # workloads
+    "NasBenchmark", "SpecCpuRateWorkload", "SpecJbbWorkload",
+    "SyntheticWorkload",
+    "__version__",
+]

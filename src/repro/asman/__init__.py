@@ -1,0 +1,25 @@
+"""ASMan's guest-side machinery.
+
+* :mod:`repro.asman.locality` — the locality-of-synchronisation model
+  (paper Section 4.2, Figure 5): localities L_i with lasting times X_i and
+  inter-locality intervals Z_i.
+* :mod:`repro.asman.learning` — the modified Roth–Erev learning algorithm
+  (Algorithms 1–2) estimating X_i.
+* :mod:`repro.asman.monitor` — the Monitoring Module that lives in the
+  guest kernel, detects over-threshold spinlocks, runs the learner, and
+  reports VCRD changes to the VMM via the ``do_vcrd_op`` hypercall.
+* :mod:`repro.asman.vcrd` — trace-driven VCRD statistics (time spent HIGH,
+  coscheduled fraction), used by metrics and the ablation benches.
+"""
+
+from repro.asman.inference import ExternalVcrdMonitor, InferenceConfig
+from repro.asman.learning import RothErevLearner
+from repro.asman.locality import LocalityAnalyzer, LocalityModel, SyncLocality
+from repro.asman.monitor import MonitoringModule
+from repro.asman.vcrd import VcrdTracker
+
+__all__ = [
+    "RothErevLearner", "LocalityAnalyzer", "LocalityModel", "SyncLocality",
+    "MonitoringModule", "VcrdTracker",
+    "ExternalVcrdMonitor", "InferenceConfig",
+]

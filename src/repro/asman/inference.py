@@ -1,0 +1,142 @@
+"""Out-of-VM VCRD inference — the paper's stated future work.
+
+Section 5.4: "It is still an open issue to monitor the VCRD of a VM from
+outside the VM.  However, the VMM may find hints from running statuses
+of CPUs to determine the VCRD of a VM, which will be our future work."
+
+This module implements that idea: an :class:`ExternalVcrdMonitor` runs in
+the VMM, requires **no guest modification**, and infers a VM's VCRD from
+two hypervisor-visible signals sampled every accounting-ish window:
+
+* **sleep/wake churn** — guests synchronising through blocking primitives
+  (futexes behind OpenMP barriers) produce frequent BLOCKED→RUNNABLE
+  transitions on *several* VCPUs.  A single busy VCPU's timer-interrupt
+  wakes don't qualify (Linux concentrates IRQs on CPU0, so the heuristic
+  demands churn on at least half the VCPUs).
+* **progress skew** — under the Credit scheduler's noisy accounting, a
+  synchronising VM's VCPUs drift apart in per-window online time; pure
+  throughput guests stay even (each VCPU is independently CPU-bound) or
+  idle.
+
+When both signals exceed their thresholds the monitor raises the VM's
+VCRD through the same ``set_vcrd`` path the in-guest module uses; it
+lowers it after ``hold_windows`` consecutive quiet windows (hysteresis).
+
+Compared to the in-guest Monitoring Module this trades precision for
+deployability: it cannot see individual spinlock waits, so it reacts at
+window granularity and can false-negative on workloads that spin without
+ever blocking.  The benches compare both detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.vmm.vm import VCRD, VM
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Thresholds for the out-of-VM detector."""
+
+    #: Sampling window (cycles).  One Xen accounting period by default.
+    window_cycles: int = units.ms(30)
+    #: Minimum BLOCKED->RUNNABLE transitions per VCPU per second, on at
+    #: least ``churn_quorum`` of the VM's VCPUs, to call it synchronising.
+    churn_rate_per_s: float = 40.0
+    #: Fraction of VCPUs that must show churn (IRQ-only guests fail this).
+    churn_quorum: float = 0.5
+    #: Minimum spread of per-window online time (as a fraction of the
+    #: window) between the most- and least-online VCPU.
+    skew_fraction: float = 0.08
+    #: Quiet windows required before dropping VCRD back to LOW.
+    hold_windows: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window_cycles <= 0:
+            raise ConfigurationError("window must be positive")
+        if not 0 < self.churn_quorum <= 1:
+            raise ConfigurationError("churn_quorum must be in (0, 1]")
+        if self.hold_windows < 1:
+            raise ConfigurationError("hold_windows must be >= 1")
+
+
+class ExternalVcrdMonitor:
+    """Infers and drives one VM's VCRD from VMM-side statistics."""
+
+    def __init__(self, vm: VM, sim: Simulator,
+                 config: Optional[InferenceConfig] = None) -> None:
+        self.vm = vm
+        self.sim = sim
+        self.config = config or InferenceConfig()
+        self._last_wakes: Dict[int, int] = {
+            v.index: v.wakes for v in vm.vcpus}
+        self._last_online: Dict[int, int] = {
+            v.index: self._online(v) for v in vm.vcpus}
+        self._quiet_streak = 0
+        #: Observability.
+        self.windows_sampled = 0
+        self.high_verdicts = 0
+        self.raises = 0
+        self.drops = 0
+        self._timer = sim.every(self.config.window_cycles, self._sample,
+                                label=f"ext-vcrd:{vm.name}")
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _online(vcpu) -> int:
+        online = vcpu.online_cycles
+        if vcpu._online_since is not None:
+            online += vcpu._sim.now - vcpu._online_since
+        return online
+
+    def stop(self) -> None:
+        self._timer.cancel()
+
+    # ------------------------------------------------------------------ #
+    def _sample(self) -> None:
+        cfg = self.config
+        self.windows_sampled += 1
+        window_s = units.to_seconds(cfg.window_cycles)
+
+        churn_hits = 0
+        online_deltas: List[int] = []
+        for v in self.vm.vcpus:
+            wake_delta = v.wakes - self._last_wakes[v.index]
+            self._last_wakes[v.index] = v.wakes
+            online = self._online(v)
+            online_deltas.append(online - self._last_online[v.index])
+            self._last_online[v.index] = online
+            if wake_delta / window_s >= cfg.churn_rate_per_s:
+                churn_hits += 1
+
+        skew = (max(online_deltas) - min(online_deltas)) / cfg.window_cycles
+        synchronising = (
+            churn_hits >= cfg.churn_quorum * len(self.vm.vcpus)
+            and skew >= cfg.skew_fraction)
+
+        if synchronising:
+            self.high_verdicts += 1
+            self._quiet_streak = 0
+            if self.vm.vcrd is not VCRD.HIGH:
+                self.raises += 1
+                self.vm.set_vcrd(VCRD.HIGH)
+        else:
+            self._quiet_streak += 1
+            if (self.vm.vcrd is VCRD.HIGH
+                    and self._quiet_streak >= cfg.hold_windows):
+                self.drops += 1
+                self.vm.set_vcrd(VCRD.LOW)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        return {
+            "windows_sampled": self.windows_sampled,
+            "high_verdicts": self.high_verdicts,
+            "raises": self.raises,
+            "drops": self.drops,
+        }

@@ -1,0 +1,143 @@
+"""The Monitoring Module — ASMan's guest-kernel component.
+
+Lives in each monitored guest's kernel (paper Section 3.3): the spinlock
+code reports every acquisition's measured wait here.  When a wait exceeds
+2^delta cycles (delta = 20), a **VCRD adjusting event** fires:
+
+1. the interval z since the previous adjusting event is measured;
+2. the Roth–Erev learner produces the estimated lasting time x_{i+1} of
+   the new locality of synchronisation;
+3. VCRD is set HIGH and reported to the VMM through ``do_vcrd_op``;
+4. a timer is armed for x_{i+1}: if it expires with no further
+   over-threshold spinlock, VCRD returns to LOW (and the VMM is told);
+   if another over-threshold spinlock arrives first, that *is* the next
+   adjusting event (Algorithm 1 line 13) — the learner re-estimates and
+   the coscheduling window extends.
+
+A short refractory period coalesces the burst of over-threshold waits
+that marks a locality's onset (the model's property (i): they are one
+locality, not many) so the learner sees locality starts, not every wait.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.config import MonitorConfig
+from repro.asman.learning import RothErevLearner
+from repro.guest.kernel import GuestKernel
+from repro.guest.spinlock import SpinLock
+from repro.sim.engine import Event
+from repro.vmm.hypercall import HypercallTable
+from repro.vmm.vm import VCRD
+
+#: Default refractory window: over-threshold waits this close to the last
+#: adjusting event are part of the same locality onset.
+DEFAULT_REFRACTORY = units.us(50)
+
+
+class MonitoringModule:
+    """Detects over-threshold spinlocks and drives the VM's VCRD."""
+
+    def __init__(self, kernel: GuestKernel, hypercalls: HypercallTable,
+                 config: Optional[MonitorConfig] = None,
+                 rng: Optional[np.random.Generator] = None,
+                 refractory: int = DEFAULT_REFRACTORY) -> None:
+        self.kernel = kernel
+        self.vm = kernel.vm
+        self.sim = kernel.sim
+        self.hypercalls = hypercalls
+        self.config = config or self.vm.config.monitor
+        self.refractory = refractory
+        self.learner = RothErevLearner(
+            self.config.learning,
+            rng if rng is not None else np.random.default_rng(0))
+        kernel.install_monitor(self)
+
+        self._last_adjust: Optional[int] = None
+        self._expiry_event: Optional[Event] = None
+        #: Statistics.
+        self.adjusting_events = 0
+        self.over_threshold_count = 0
+        self.measured_waits: int = 0
+        self.hypercalls_made = 0
+        #: (time, estimate) of each adjusting event, for the experiments.
+        self.estimates: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def coscheduling(self) -> bool:
+        """True while the module holds the VM's VCRD HIGH."""
+        return self._expiry_event is not None and self._expiry_event.pending
+
+    # ------------------------------------------------------------------ #
+    # Hook called from the guest spinlock code
+    # ------------------------------------------------------------------ #
+    def on_spinlock_wait(self, lock: SpinLock, wait: int) -> None:
+        """A completed acquisition with its final measured wait."""
+        if wait < self.config.measure_floor_cycles:
+            return
+        self.measured_waits += 1
+        if wait <= self.config.over_threshold_cycles:
+            return
+        self.over_threshold_count += 1
+        self._maybe_adjust()
+
+    def on_wait_in_progress(self, lock: SpinLock, waited_so_far: int) -> None:
+        """The probe inside the spin loop saw the wait cross 2^delta while
+        still spinning — the paper's actual detection point ("upon
+        detecting a spinlock whose waiting time is longer than a certain
+        threshold").  Reacting here, not at acquisition, is what lets
+        coscheduling rescue the *current* episode."""
+        if waited_so_far <= self.config.over_threshold_cycles:
+            return
+        self.over_threshold_count += 1
+        self._maybe_adjust()
+
+    def _maybe_adjust(self) -> None:
+        now = self.sim.now
+        if (self._last_adjust is not None
+                and now - self._last_adjust < self.refractory):
+            return  # same locality onset: already handled
+        self._adjusting_event(now)
+
+    # ------------------------------------------------------------------ #
+    def _adjusting_event(self, now: int) -> None:
+        self.adjusting_events += 1
+        z = None if self._last_adjust is None else now - self._last_adjust
+        estimate = self.learner.next_estimate(z)
+        self._last_adjust = now
+        self.estimates.append((now, estimate))
+        # (Re-)arm the coscheduling window.
+        if self._expiry_event is not None:
+            self._expiry_event.cancel()
+        self._expiry_event = self.sim.at(now + estimate, self._expire,
+                                         label=f"vcrd-expiry:{self.vm.name}")
+        self._set_vcrd(VCRD.HIGH)
+
+    def _expire(self) -> None:
+        """The estimated lasting time passed with no further over-threshold
+        spinlock: the locality ended, stop coscheduling."""
+        self._expiry_event = None
+        self._set_vcrd(VCRD.LOW)
+
+    def _set_vcrd(self, value: VCRD) -> None:
+        if self.vm.vcrd is value:
+            return
+        self.hypercalls_made += 1
+        self.hypercalls.do_vcrd_op(self.vm, value)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Summary used by the experiment reports."""
+        return {
+            "adjusting_events": self.adjusting_events,
+            "over_threshold": self.over_threshold_count,
+            "measured_waits": self.measured_waits,
+            "hypercalls": self.hypercalls_made,
+            "under_cosched_updates": self.learner.under_cosched_updates,
+            "proportional_updates": self.learner.proportional_updates,
+        }

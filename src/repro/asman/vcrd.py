@@ -1,0 +1,72 @@
+"""VCRD statistics: how much of a run each VM spent coscheduled.
+
+Subscribes to ``vcrd.change`` trace records and integrates the time each
+VM's VCRD spent HIGH.  The ablation benches use this to quantify ASMan's
+central claim: the *coscheduled fraction* tracks the workload's actual
+synchronisation intensity (near zero for EP and SPEC-rate copies, large
+for LU), whereas static coscheduling (CON) is pinned at 100%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus, TraceRecord
+from repro.vmm.vm import VCRD, VM
+
+
+class VcrdTracker:
+    """Integrates per-VM VCRD-HIGH time from the trace bus."""
+
+    def __init__(self, trace: TraceBus, sim: Simulator) -> None:
+        self.sim = sim
+        self._high_since: Dict[str, int] = {}
+        self._high_total: Dict[str, int] = {}
+        self.transitions: Dict[str, int] = {}
+        #: Full per-VM change log: (time, "high"/"low").
+        self.log: Dict[str, List[Tuple[int, str]]] = {}
+        self._start = sim.now
+        trace.subscribe("vcrd.change", self._on_change)
+
+    def _on_change(self, rec: TraceRecord) -> None:
+        vm = rec["vm"]
+        value = rec["vcrd"]
+        self.transitions[vm] = self.transitions.get(vm, 0) + 1
+        self.log.setdefault(vm, []).append((rec.time, value))
+        if value == VCRD.HIGH.value:
+            self._high_since.setdefault(vm, rec.time)
+        else:
+            since = self._high_since.pop(vm, None)
+            if since is not None:
+                self._high_total[vm] = (
+                    self._high_total.get(vm, 0) + rec.time - since)
+
+    # ------------------------------------------------------------------ #
+    def high_cycles(self, vm_name: str) -> int:
+        """Total cycles the VM spent with VCRD HIGH (so far)."""
+        total = self._high_total.get(vm_name, 0)
+        since = self._high_since.get(vm_name)
+        if since is not None:
+            total += self.sim.now - since
+        return total
+
+    def high_fraction(self, vm_name: str) -> float:
+        """Fraction of elapsed time the VM spent coscheduled."""
+        elapsed = self.sim.now - self._start
+        if elapsed <= 0:
+            return 0.0
+        return self.high_cycles(vm_name) / elapsed
+
+    def episodes(self, vm_name: str) -> List[Tuple[int, int]]:
+        """Closed (start, end) HIGH episodes recorded so far."""
+        out: List[Tuple[int, int]] = []
+        start = None
+        for time, value in self.log.get(vm_name, []):
+            if value == VCRD.HIGH.value:
+                if start is None:
+                    start = time
+            elif start is not None:
+                out.append((start, time))
+                start = None
+        return out

@@ -1,0 +1,256 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro`` console script):
+
+* ``list`` — available figures, workloads and schedulers;
+* ``figure <name>`` — rerun one paper figure and print/export its series;
+* ``run`` — a single-VM scenario with a chosen workload/scheduler/rate;
+* ``sweep`` — the online-rate sweep comparing schedulers (a quick Fig 7);
+* ``specjbb`` — the warehouse sweep (a quick Fig 10).
+
+Everything the CLI does goes through the same public API the examples
+use; it adds no behaviour, only ergonomics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import units
+from repro.experiments import figures as F
+from repro.experiments.runner import (PAPER_RATES, run_single_vm,
+                                      run_specjbb)
+from repro.metrics import ascii_plot
+from repro.metrics.export import figure_to_csv, figure_to_json, write_text
+from repro.metrics.report import Table
+from repro.metrics.runtime import ideal_slowdown
+from repro.workloads.nas import NAS_PROFILES, NasBenchmark
+from repro.workloads.speccpu import SPEC_CPU_PROFILES, SpecCpuRateWorkload
+
+#: name -> zero-config callable returning a FigureResult.
+FIGURES: Dict[str, Callable[..., "F.FigureResult"]] = {
+    "fig01a": F.fig01_lu_runtime,
+    "fig01b": F.fig01_spinlock_counts,
+    "fig02": F.fig02_wait_details,
+    "fig07": F.fig07_lu_comparison,
+    "fig08": F.fig08_wait_details_asman,
+    "fig09": F.fig09_nas_slowdowns,
+    "fig10": F.fig10_specjbb,
+    "fig11a": F.fig11a,
+    "fig11b": F.fig11b,
+    "fig12a": F.fig12a,
+    "fig12b": F.fig12b,
+}
+
+SCHEDULERS = ("credit", "asman", "con", "relaxed")
+
+
+def _workload_factory(name: str, scale: float):
+    if name.upper() in NAS_PROFILES:
+        return lambda: NasBenchmark.by_name(name.upper(), scale=scale)
+    if name in SPEC_CPU_PROFILES:
+        return lambda: SpecCpuRateWorkload.by_name(name, scale=scale)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose a NAS benchmark "
+        f"({', '.join(NAS_PROFILES)}) or SPEC CPU "
+        f"({', '.join(SPEC_CPU_PROFILES)})")
+
+
+# --------------------------------------------------------------------- #
+def cmd_list(args) -> int:
+    """``repro list``: print figures, workloads, schedulers."""
+    print("figures:    " + " ".join(sorted(FIGURES)))
+    print("workloads:  " + " ".join(list(NAS_PROFILES)
+                                    + list(SPEC_CPU_PROFILES)
+                                    + ["specjbb"]))
+    print("schedulers: " + " ".join(SCHEDULERS))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """``repro figure <name>``: rerun a paper figure, print/export it."""
+    fn = FIGURES.get(args.name)
+    if fn is None:
+        print(f"unknown figure {args.name!r}; try: "
+              + " ".join(sorted(FIGURES)), file=sys.stderr)
+        return 2
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.seeds:
+        kwargs["seeds"] = tuple(args.seeds)
+    try:
+        result = fn(**kwargs)
+    except TypeError:
+        result = fn()  # driver without those knobs (e.g. fig10)
+    print(result.render())
+    if args.plot:
+        line_series = {k: v for k, v in result.series.items()
+                       if len(v) <= 64}
+        if line_series:
+            print()
+            print(ascii_plot.line_plot(line_series, title=result.figure))
+    if args.json:
+        write_text(args.json, figure_to_json(result))
+        print(f"\nwrote {args.json}")
+    if args.csv:
+        write_text(args.csv, figure_to_csv(result))
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one single-VM scenario (optionally verbose)."""
+    factory = _workload_factory(args.workload, args.scale)
+    if args.verbose:
+        return _run_verbose(args, factory)
+    r = run_single_vm(factory, scheduler=args.scheduler,
+                      online_rate=args.rate, seed=args.seed,
+                      collect_scatter=True)
+    print(f"workload={args.workload} scheduler={args.scheduler} "
+          f"rate={args.rate:.3f} seed={args.seed}")
+    print(f"runtime: {r.runtime_seconds:.3f} s "
+          f"(measured online rate {r.measured_online_rate:.3f})")
+    print(f"spinlock waits: {int(r.spin_summary['recorded'])} recorded, "
+          f">2^20: {int(r.spin_summary['over_2^20'])}, "
+          f"max log2: {r.spin_summary['max_log2']:.1f}")
+    if r.monitor_stats:
+        print(f"monitoring module: {r.monitor_stats}")
+    if args.plot and r.spin_scatter:
+        print()
+        print(ascii_plot.wait_histogram(
+            [w for _, w in r.spin_scatter],
+            title="spinlock wait distribution (log2 cycles)"))
+    return 0
+
+
+def _run_verbose(args, factory) -> int:
+    """Single-VM run with guest introspection and a co-online summary."""
+    from repro.config import SchedulerConfig
+    from repro.experiments.setup import Testbed, weight_for_rate
+    from repro.guest.stats import snapshot
+    from repro.metrics.timeline import TimelineCollector
+
+    tb = Testbed(scheduler=args.scheduler, seed=args.seed,
+                 sched_config=SchedulerConfig(work_conserving=False))
+    timeline = TimelineCollector(tb.trace, tb.sim)
+    tb.add_domain0()
+    tb.add_vm("V1", weight=weight_for_rate(args.rate), workload=factory())
+    ok = tb.run_until_workloads_done(
+        ["V1"], deadline_cycles=units.seconds(600))
+    if not ok:
+        print("run did not finish within the deadline", file=sys.stderr)
+        return 1
+    timeline.close()
+    print(f"runtime: {units.to_seconds(tb.guests['V1'].finished_at):.3f} s")
+    print(f"co-online fraction (all 4 VCPUs simultaneously): "
+          f"{timeline.co_online_fraction('V1', parties=4):.3f}\n")
+    print(snapshot(tb.guests["V1"]).render())
+    if args.plot:
+        window = min(tb.sim.now, units.ms(200))
+        print()
+        print(timeline.gantt(tb.sim.now - window, tb.sim.now,
+                             pcpus=range(len(tb.machine))))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: the paper-rate sweep across schedulers."""
+    factory_for = lambda: _workload_factory(args.workload, args.scale)()
+    scheds: List[str] = args.schedulers.split(",")
+    for s in scheds:
+        if s not in SCHEDULERS:
+            raise SystemExit(f"unknown scheduler {s!r}")
+    base = run_single_vm(factory_for, scheduler=scheds[0],
+                         online_rate=1.0, seed=args.seed)
+    table = Table(["rate_%", "ideal"] + [f"{s}_sd" for s in scheds],
+                  title=f"{args.workload} slowdown sweep")
+    for rate in PAPER_RATES:
+        row = [round(rate * 100, 1), ideal_slowdown(rate)]
+        for sched in scheds:
+            r = run_single_vm(factory_for, scheduler=sched,
+                              online_rate=rate, seed=args.seed)
+            row.append(r.runtime_seconds / base.runtime_seconds)
+        table.add_row(*row)
+    print(table)
+    return 0
+
+
+def cmd_specjbb(args) -> int:
+    """``repro specjbb``: warehouse sweep at one online rate."""
+    table = Table(["warehouses"] + list(args.schedulers.split(",")),
+                  title=f"SPECjbb bops at rate {args.rate:.3f}")
+    for w in range(1, args.max_warehouses + 1):
+        row = [w]
+        for sched in args.schedulers.split(","):
+            r = run_specjbb(w, scheduler=sched, online_rate=args.rate,
+                            window_cycles=units.ms(args.window_ms),
+                            seed=args.seed)
+            row.append(r.bops)
+        table.add_row(*row)
+    print(table)
+    return 0
+
+
+# --------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for shell-completion tools)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="ASMan (HPDC'11) reproduction: run figures and "
+                    "scenarios on the simulated testbed.")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list figures/workloads/schedulers") \
+        .set_defaults(func=cmd_list)
+
+    fp = sub.add_parser("figure", help="rerun one paper figure")
+    fp.add_argument("name", help="e.g. fig07 (see `repro list`)")
+    fp.add_argument("--scale", type=float, default=None,
+                    help="workload scale factor")
+    fp.add_argument("--seeds", type=int, nargs="*", default=None)
+    fp.add_argument("--plot", action="store_true",
+                    help="also render an ASCII plot")
+    fp.add_argument("--json", metavar="PATH", help="export JSON")
+    fp.add_argument("--csv", metavar="PATH", help="export CSV")
+    fp.set_defaults(func=cmd_figure)
+
+    rp = sub.add_parser("run", help="one single-VM scenario")
+    rp.add_argument("--workload", default="LU")
+    rp.add_argument("--scheduler", default="credit", choices=SCHEDULERS)
+    rp.add_argument("--rate", type=float, default=0.4,
+                    help="VCPU online rate in (0, 1]")
+    rp.add_argument("--scale", type=float, default=0.4)
+    rp.add_argument("--seed", type=int, default=1)
+    rp.add_argument("--plot", action="store_true")
+    rp.add_argument("--verbose", action="store_true",
+                    help="guest introspection + co-online fraction")
+    rp.set_defaults(func=cmd_run)
+
+    sp = sub.add_parser("sweep", help="online-rate sweep across schedulers")
+    sp.add_argument("--workload", default="LU")
+    sp.add_argument("--schedulers", default="credit,asman")
+    sp.add_argument("--scale", type=float, default=0.4)
+    sp.add_argument("--seed", type=int, default=1)
+    sp.set_defaults(func=cmd_sweep)
+
+    jp = sub.add_parser("specjbb", help="SPECjbb warehouse sweep")
+    jp.add_argument("--rate", type=float, default=0.4)
+    jp.add_argument("--max-warehouses", type=int, default=8)
+    jp.add_argument("--window-ms", type=float, default=1000.0)
+    jp.add_argument("--schedulers", default="credit,asman")
+    jp.add_argument("--seed", type=int, default=1)
+    jp.set_defaults(func=cmd_specjbb)
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

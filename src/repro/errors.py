@@ -1,0 +1,41 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch the
+whole family with one clause.  Each subsystem raises its own subclass; this
+keeps error handling in the experiment drivers explicit about *which* layer
+misbehaved (a scheduling invariant violation is a bug, a configuration error
+is user input).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (bad weights, VCPU counts, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly (e.g. scheduling an
+    event in the past, or running a finished simulation)."""
+
+
+class SchedulerInvariantError(ReproError):
+    """A VMM scheduler invariant was violated.
+
+    These indicate bugs in scheduler implementations, not user error:
+    e.g. a VCPU appearing in two run queues at once, or a PCPU running a
+    VCPU that is not in RUNNING state.
+    """
+
+
+class GuestStateError(ReproError):
+    """Guest OS state machine misuse (e.g. releasing a lock not held,
+    a task resuming while blocked)."""
+
+
+class WorkloadError(ReproError):
+    """A workload program emitted an invalid operation sequence."""

@@ -1,0 +1,141 @@
+"""Calibration utilities: validate the testbed against its spec.
+
+Before trusting experiment output, downstream users (and our CI) want
+evidence that the simulated testbed enforces what the paper's equations
+promise: weight-proportional CPU shares (Equation 1), the derived VCPU
+online rates (Equation 2), base-runtime comparability across benchmarks,
+and determinism.  :func:`calibrate` runs those probes and returns a
+:class:`CalibrationReport`; ``report.ok`` gates on configurable
+tolerances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.experiments.runner import run_single_vm
+from repro.experiments.setup import Testbed, weight_for_rate
+from repro.metrics.report import Table
+from repro.workloads.nas import NasBenchmark
+from repro.workloads.speccpu import SpecCpuRateWorkload
+
+
+@dataclass
+class Probe:
+    """One calibration check."""
+
+    name: str
+    expected: float
+    measured: float
+    tolerance: float
+
+    @property
+    def ok(self) -> bool:
+        if self.expected == 0:
+            return abs(self.measured) <= self.tolerance
+        return abs(self.measured - self.expected) / abs(self.expected) \
+            <= self.tolerance
+
+
+@dataclass
+class CalibrationReport:
+    probes: List[Probe] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.probes)
+
+    def failures(self) -> List[Probe]:
+        return [p for p in self.probes if not p.ok]
+
+    def render(self) -> str:
+        table = Table(["probe", "expected", "measured", "tol", "ok"],
+                      title="testbed calibration")
+        for p in self.probes:
+            table.add_row(p.name, p.expected, p.measured, p.tolerance,
+                          "yes" if p.ok else "NO")
+        return table.render()
+
+
+def probe_online_rates(report: CalibrationReport,
+                       rates: Sequence[float] = (2 / 3, 0.4, 2 / 9),
+                       tolerance: float = 0.12,
+                       scale: float = 0.3, seed: int = 1) -> None:
+    """Equation (2): a CPU-bound guest's measured online rate matches the
+    weight-derived entitlement in non-work-conserving mode."""
+    for rate in rates:
+        r = run_single_vm(
+            lambda: SpecCpuRateWorkload.by_name("256.bzip2", scale=scale),
+            scheduler="credit", online_rate=rate, seed=seed)
+        report.probes.append(Probe(
+            name=f"online_rate@{rate:.3f}",
+            expected=rate, measured=r.measured_online_rate,
+            tolerance=tolerance))
+
+
+def probe_weight_shares(report: CalibrationReport,
+                        tolerance: float = 0.15,
+                        seed: int = 1) -> None:
+    """Equation (1): CPU time splits by weight under saturation (2:1).
+
+    Weights only bind under contention: 8 VCPUs must compete for 4 PCPUs
+    here, otherwise every VCPU gets a free PCPU and the ratio is 1.
+    """
+    tb = Testbed(scheduler="credit", num_pcpus=4, seed=seed,
+                 sched_config=SchedulerConfig(work_conserving=True))
+    tb.add_vm("heavy", num_vcpus=4, weight=512,
+              workload=SpecCpuRateWorkload.by_name("256.bzip2", scale=2.0))
+    tb.add_vm("light", num_vcpus=4, weight=256,
+              workload=SpecCpuRateWorkload.by_name("256.bzip2", scale=2.0))
+    tb.run_for(units.seconds(2))
+    heavy = tb.vms["heavy"].cpu_time()
+    light = tb.vms["light"].cpu_time()
+    report.probes.append(Probe(
+        name="weight_share_ratio_2:1",
+        expected=2.0, measured=heavy / light if light else float("inf"),
+        tolerance=tolerance))
+
+
+def probe_base_runtimes(report: CalibrationReport,
+                        tolerance: float = 0.45,
+                        scale: float = 0.3, seed: int = 1) -> None:
+    """NAS profiles target comparable base runtimes (DESIGN.md): each
+    benchmark's Credit@100% runtime is within tolerance of the mean."""
+    times: Dict[str, float] = {}
+    for name in ("LU", "EP", "CG"):
+        r = run_single_vm(lambda n=name: NasBenchmark.by_name(n, scale=scale),
+                          scheduler="credit", online_rate=1.0, seed=seed)
+        times[name] = r.runtime_seconds
+    mean = sum(times.values()) / len(times)
+    for name, t in times.items():
+        report.probes.append(Probe(
+            name=f"base_runtime_{name}", expected=mean, measured=t,
+            tolerance=tolerance))
+
+
+def probe_determinism(report: CalibrationReport, seed: int = 7,
+                      scale: float = 0.15) -> None:
+    """Identical seeds give identical cycle-exact completion times."""
+    def once() -> int:
+        r = run_single_vm(lambda: NasBenchmark.by_name("LU", scale=scale),
+                          scheduler="asman", online_rate=0.4, seed=seed)
+        return r.runtime_cycles
+    a, b = once(), once()
+    report.probes.append(Probe(
+        name="determinism", expected=0.0, measured=float(a - b),
+        tolerance=0.0))
+
+
+def calibrate(full: bool = True, seed: int = 1) -> CalibrationReport:
+    """Run the calibration suite.  ``full=False`` skips the slower
+    probes (weight shares, base runtimes)."""
+    report = CalibrationReport()
+    probe_online_rates(report, seed=seed)
+    probe_determinism(report)
+    if full:
+        probe_weight_shares(report, seed=seed)
+        probe_base_runtimes(report, seed=seed)
+    return report

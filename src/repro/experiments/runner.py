@@ -1,0 +1,201 @@
+"""Scenario runners: single-VM sweeps, multi-VM mixes, SPECjbb windows.
+
+These reproduce the paper's three experimental methodologies:
+
+* **Single VM** (Section 5.2): one guest VM V1 (4 VCPUs) plus an idle
+  Domain-0, non-work-conserving mode, V1's weight swept over
+  256/128/64/32 to hit online rates 100/66.7/40/22.2%.
+* **Multiple VMs** (Section 5.3): 4 or 6 guest VMs (4 VCPUs each, weight
+  256) plus Domain-0, work-conserving mode; each benchmark loops and the
+  first completed rounds are averaged while all neighbours stay loaded.
+* **SPECjbb window**: a fixed measurement window with warehouse counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.setup import Testbed, weight_for_rate
+from repro.workloads.base import Workload
+from repro.workloads.specjbb import SpecJbbWorkload
+
+#: The paper's four VCPU online rates (Section 5.2).
+PAPER_RATES: Tuple[float, ...] = (1.0, 2.0 / 3.0, 0.4, 2.0 / 9.0)
+
+#: Hard ceiling on simulated time; a run that hits it is reported failed
+#: rather than looping forever (a scheduler bug would otherwise hang).
+DEFAULT_DEADLINE = units.seconds(240)
+
+WorkloadFactory = Callable[[], Workload]
+
+
+@dataclass
+class SingleVmResult:
+    """Outcome of one single-VM run."""
+
+    scheduler: str
+    online_rate: float
+    weight: int
+    runtime_cycles: int
+    runtime_seconds: float
+    measured_online_rate: float
+    spin_summary: Dict[str, float]
+    spin_scatter: List[Tuple[int, float]]
+    over_threshold_times: List[int]
+    monitor_stats: Optional[Dict[str, int]] = None
+    vcrd_changes: int = 0
+    finished: bool = True
+
+
+def run_single_vm(workload_factory: WorkloadFactory,
+                  scheduler: str = "credit",
+                  online_rate: float = 1.0,
+                  seed: int = 1,
+                  num_pcpus: int = 8,
+                  num_vcpus: int = 4,
+                  deadline_cycles: int = DEFAULT_DEADLINE,
+                  collect_scatter: bool = False) -> SingleVmResult:
+    """Section 5.2's scenario: V1 + idle Domain-0, NWC mode."""
+    weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
+                             num_vcpus=num_vcpus)
+    cfg = SchedulerConfig(work_conserving=False)
+    tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
+                 sched_config=cfg)
+    tb.add_domain0()
+    workload = workload_factory()
+    vm = tb.add_vm("V1", num_vcpus=num_vcpus, weight=weight,
+                   workload=workload, concurrent_hint=True)
+    finished = tb.run_until_workloads_done(["V1"],
+                                           deadline_cycles=deadline_cycles)
+    if not finished:
+        raise SimulationError(
+            f"single-VM run ({scheduler}, rate={online_rate:.3f}) did not "
+            f"finish within {units.to_seconds(deadline_cycles):.0f} "
+            f"simulated seconds")
+    stats = tb.spin_stats("V1")
+    monitor = tb.monitors.get("V1")
+    return SingleVmResult(
+        scheduler=scheduler,
+        online_rate=online_rate,
+        weight=weight,
+        runtime_cycles=tb.guests["V1"].finished_at,
+        runtime_seconds=units.to_seconds(tb.guests["V1"].finished_at),
+        measured_online_rate=tb.measured_online_rate("V1"),
+        spin_summary=stats.summary(),
+        spin_scatter=stats.scatter() if collect_scatter else [],
+        over_threshold_times=stats.over_threshold_times(),
+        monitor_stats=monitor.stats() if monitor else None,
+        vcrd_changes=vm.vcrd_changes,
+        finished=True,
+    )
+
+
+@dataclass
+class MultiVmResult:
+    """Outcome of one multi-VM mix."""
+
+    scheduler: str
+    #: vm name -> mean round time in seconds (the paper's averaged run time).
+    round_seconds: Dict[str, float] = field(default_factory=dict)
+    #: vm name -> workload label (e.g. "nas.lu", "speccpu.176.gcc").
+    labels: Dict[str, str] = field(default_factory=dict)
+    rounds_measured: int = 0
+    fairness_jains: float = 1.0
+
+
+def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
+                 scheduler: str = "credit",
+                 seed: int = 1,
+                 num_pcpus: int = 8,
+                 num_vcpus: int = 4,
+                 measure_rounds: int = 2,
+                 deadline_cycles: int = DEFAULT_DEADLINE) -> MultiVmResult:
+    """Section 5.3's scenario: several weight-256 VMs, WC mode.
+
+    ``assignments`` is a list of (vm_name, workload_factory, concurrent)
+    triples; ``concurrent`` marks the VM for the CON scheduler.  Every
+    workload must have been built with enough ``rounds`` that it is still
+    running when the slowest VM completes ``measure_rounds`` rounds —
+    exactly the paper's batch-program methodology.
+    """
+    if not assignments:
+        raise ConfigurationError("need at least one VM assignment")
+    cfg = SchedulerConfig(work_conserving=True)
+    tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
+                 sched_config=cfg)
+    tb.add_domain0()
+    workloads: Dict[str, Workload] = {}
+    for name, factory, concurrent in assignments:
+        wl = factory()
+        if wl.rounds < measure_rounds + 1:
+            raise ConfigurationError(
+                f"workload for {name} has rounds={wl.rounds}; needs at "
+                f"least measure_rounds+1={measure_rounds + 1} so neighbours "
+                f"stay loaded during measurement")
+        tb.add_vm(name, num_vcpus=num_vcpus, weight=256, workload=wl,
+                  concurrent_hint=concurrent)
+        workloads[name] = wl
+    tb.start()
+    done = tb.sim.run_until_true(
+        lambda: all(w.rounds_completed() >= measure_rounds
+                    for w in workloads.values()),
+        deadline=deadline_cycles)
+    if not done:
+        raise SimulationError(
+            f"multi-VM run ({scheduler}) did not reach {measure_rounds} "
+            f"rounds within {units.to_seconds(deadline_cycles):.0f} "
+            f"simulated seconds")
+    result = MultiVmResult(scheduler=scheduler, rounds_measured=measure_rounds)
+    for name, wl in workloads.items():
+        result.round_seconds[name] = units.to_seconds(
+            int(wl.mean_round_cycles(measure_rounds)))
+        result.labels[name] = wl.name
+    # Fairness check over the guest VMs (Domain-0 is idle).
+    from repro.metrics.fairness import FairnessReport
+    guests = [tb.vms[n] for n, _, _ in assignments]
+    if tb.sim.now > 0:
+        report = FairnessReport(guests, tb.sim.now, len(tb.machine))
+        result.fairness_jains = report.jains()
+    return result
+
+
+@dataclass
+class SpecJbbResult:
+    scheduler: str
+    online_rate: float
+    warehouses: int
+    bops: float
+    window_seconds: float
+
+
+def run_specjbb(warehouses: int,
+                scheduler: str = "credit",
+                online_rate: float = 1.0,
+                window_cycles: int = units.seconds(2),
+                warmup_cycles: int = units.ms(200),
+                seed: int = 1,
+                num_pcpus: int = 8,
+                num_vcpus: int = 4) -> SpecJbbResult:
+    """Figure 10's scenario: V1 runs SPECjbb with W warehouses; bops are
+    counted over a fixed window after a short warm-up."""
+    weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
+                             num_vcpus=num_vcpus)
+    cfg = SchedulerConfig(work_conserving=False)
+    tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
+                 sched_config=cfg)
+    tb.add_domain0()
+    wl = SpecJbbWorkload(warehouses)
+    tb.add_vm("V1", num_vcpus=num_vcpus, weight=weight, workload=wl,
+              concurrent_hint=True)
+    tb.run_for(warmup_cycles)
+    before = wl.total_transactions()
+    tb.run_for(window_cycles)
+    after = wl.total_transactions()
+    bops = (after - before) / units.to_seconds(window_cycles)
+    return SpecJbbResult(scheduler=scheduler, online_rate=online_rate,
+                         warehouses=warehouses, bops=bops,
+                         window_seconds=units.to_seconds(window_cycles))

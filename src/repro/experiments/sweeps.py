@@ -1,0 +1,128 @@
+"""Parameter sweeps with repetition statistics.
+
+The figure drivers report means; reviewers (and CI flakiness hunts) want
+dispersion too.  :class:`Sweep` runs a cartesian grid of scenario
+parameters over several seeds and aggregates mean / standard deviation /
+a normal-approximation confidence half-width per cell.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.metrics.report import Table
+
+#: A scenario function: (params, seed) -> measured value.
+Scenario = Callable[[Mapping[str, object], int], float]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point's aggregated measurements."""
+
+    params: Tuple[Tuple[str, object], ...]
+    values: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values)
+                         / (self.n - 1))
+
+    def ci_halfwidth(self, z: float = 1.96) -> float:
+        """Normal-approximation confidence half-width for the mean."""
+        if self.n < 2:
+            return 0.0
+        return z * self.std / math.sqrt(self.n)
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation — the paper requires < 10% before
+        averaging multi-VM rounds (Section 5.3)."""
+        m = self.mean
+        return self.std / m if m else 0.0
+
+    def param(self, key: str):
+        return dict(self.params)[key]
+
+
+@dataclass
+class SweepResult:
+    axes: Dict[str, Sequence[object]]
+    seeds: Sequence[int]
+    cells: List[Cell] = field(default_factory=list)
+
+    def cell(self, **params) -> Cell:
+        want = tuple(sorted(params.items()))
+        for c in self.cells:
+            if tuple(sorted(c.params)) == want:
+                return c
+        raise KeyError(f"no cell for {params!r}")
+
+    def series(self, x_axis: str, **fixed) -> List[Tuple[object, float]]:
+        """(x, mean) points along one axis with the others fixed."""
+        out = []
+        for x in self.axes[x_axis]:
+            out.append((x, self.cell(**{x_axis: x}, **fixed).mean))
+        return out
+
+    def table(self, value_label: str = "value",
+              precision: int = 3) -> Table:
+        keys = list(self.axes)
+        t = Table(keys + [f"{value_label}_mean", "std", "ci95", "n"],
+                  precision=precision)
+        for c in self.cells:
+            p = dict(c.params)
+            t.add_row(*[p[k] for k in keys], c.mean, c.std,
+                      c.ci_halfwidth(), c.n)
+        return t
+
+    def max_cv(self) -> float:
+        return max((c.cv for c in self.cells), default=0.0)
+
+
+class Sweep:
+    """Cartesian sweep runner."""
+
+    def __init__(self, scenario: Scenario,
+                 axes: Mapping[str, Sequence[object]],
+                 seeds: Sequence[int] = (1, 2, 3)) -> None:
+        if not axes:
+            raise ConfigurationError("need at least one axis")
+        if not seeds:
+            raise ConfigurationError("need at least one seed")
+        for name, values in axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {name!r} is empty")
+        self.scenario = scenario
+        self.axes = {k: list(v) for k, v in axes.items()}
+        self.seeds = list(seeds)
+
+    def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
+        result = SweepResult(axes=self.axes, seeds=self.seeds)
+        keys = list(self.axes)
+        for combo in itertools.product(*(self.axes[k] for k in keys)):
+            params = dict(zip(keys, combo))
+            values = []
+            for seed in self.seeds:
+                values.append(float(self.scenario(params, seed)))
+            if progress is not None:
+                progress(f"{params} -> {sum(values) / len(values):.4g}")
+            result.cells.append(Cell(
+                params=tuple(sorted(params.items())),
+                values=tuple(values)))
+        return result

@@ -1,0 +1,30 @@
+"""The guest operating system model.
+
+Each VM runs a :class:`~repro.guest.kernel.GuestKernel`: an SMP kernel with
+per-VCPU task scheduling and the two synchronisation primitive families the
+paper contrasts — busy-waiting **spinlocks** (whose waits virtualization
+inflates) and blocking **semaphores** (which virtualization leaves mostly
+alone).  Application-level synchronisation (OpenMP barriers, JVM monitors)
+is mapped onto futexes whose hash-bucket spinlocks are where over-threshold
+waits arise, mirroring the paper's argument in Section 2.2.
+"""
+
+from repro.guest.kernel import GuestKernel
+from repro.guest.task import Task, TaskState
+from repro.guest.ops import (Compute, Critical, BarrierOp, SemDown, SemUp,
+                             FlagSet, FlagWait, Sleep, Program, Op)
+from repro.guest.spinlock import SpinLock
+from repro.guest.semaphore import Semaphore
+from repro.guest.barrier import Barrier
+from repro.guest.flags import FlagVar
+from repro.guest.futex import FutexQueue
+from repro.guest.hrtimer import Hrtimer
+from repro.guest.stats import GuestSnapshot, snapshot
+
+__all__ = [
+    "GuestKernel", "Task", "TaskState",
+    "Compute", "Critical", "BarrierOp", "SemDown", "SemUp",
+    "FlagSet", "FlagWait", "Sleep", "Program", "Op",
+    "SpinLock", "Semaphore", "Barrier", "FlagVar", "FutexQueue", "Hrtimer",
+    "GuestSnapshot", "snapshot",
+]

@@ -1,0 +1,70 @@
+"""OpenMP-style barriers built from a futex and its bucket spinlock.
+
+The dominant synchronisation construct in the NAS benchmarks.  Crossing a
+barrier costs each arriving task one bucket-lock critical section (counter
+update); non-last arrivals then spin on the generation word for the futex
+spin budget and, failing that, take the bucket lock *again* to enqueue and
+sleep (the futex slow path).  The last arrival resets the counter, bumps
+the generation and wakes everyone **while holding the bucket lock**, just
+like ``futex_wake`` walking the bucket's list.
+
+All the timing/sequencing lives in the guest kernel; this class is the
+barrier's state plus pure decision helpers, which keeps it independently
+unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import GuestStateError
+from repro.guest.futex import FutexQueue
+from repro.guest.spinlock import SpinLock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.task import Task
+
+
+class Barrier:
+    """A reusable (generation-counted) barrier for ``parties`` tasks."""
+
+    __slots__ = ("name", "parties", "count", "futex", "bucket", "crossings")
+
+    def __init__(self, name: str, parties: int) -> None:
+        if parties < 1:
+            raise GuestStateError(f"barrier {name}: parties must be >= 1")
+        self.name = name
+        self.parties = parties
+        self.count = 0
+        #: The futex the waiters sleep on.
+        self.futex = FutexQueue(f"{name}.futex")
+        #: The futex hash-bucket spinlock serialising arrivals and wakes.
+        self.bucket = SpinLock(f"{name}.bucket")
+        #: Completed barrier episodes (all parties crossed).
+        self.crossings = 0
+
+    def arrive(self) -> bool:
+        """Register one arrival (caller holds the bucket lock).
+
+        Returns True when this arrival is the last one — the caller must
+        then :meth:`reset_and_wake`.
+        """
+        if self.count >= self.parties:
+            raise GuestStateError(
+                f"barrier {self.name}: more arrivals than parties")
+        self.count += 1
+        return self.count == self.parties
+
+    def reset_and_wake(self):
+        """Last arrival: reset the counter, bump the generation, return the
+        blocked tasks to wake (caller holds the bucket lock)."""
+        if self.count != self.parties:
+            raise GuestStateError(
+                f"barrier {self.name}: reset with {self.count}/{self.parties}")
+        self.count = 0
+        self.crossings += 1
+        return self.futex.wake_all()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Barrier {self.name} {self.count}/{self.parties} "
+                f"gen={self.futex.generation}>")

@@ -1,0 +1,65 @@
+"""Userspace spin flags — point-to-point pipeline synchronisation.
+
+NPB-LU's wavefront pipelining synchronises neighbour threads through
+shared flag arrays and busy-wait loops (``while (flag[t-1] < k) ;`` plus
+flushes) — *pure userspace spinning*, no kernel entry, no blocking.  Under
+virtualization this is the harshest primitive of all: a successor whose
+predecessor's VCPU is descheduled burns its entire online window spinning,
+wasting its own credit, which desynchronises the VM's VCPUs further (spin
+waste, unlike futex sleeping, has no self-correcting feedback).
+
+These waits are invisible to the in-kernel Monitoring Module (they never
+enter the kernel) — faithful to the paper, whose monitor sees only kernel
+spinlocks; ASMan still catches the episodes through the kernel-lock
+over-threshold waits that accompany them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.task import Task
+
+
+class FlagVar:
+    """A monotonically increasing shared integer with spin-waiters."""
+
+    __slots__ = ("name", "value", "waiters", "sets", "spin_waits",
+                 "total_spin_wait", "max_spin_wait")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+        #: (task, target_value, wait_start_cycle); tasks spin here.
+        self.waiters: List[Tuple["Task", int, int]] = []
+        self.sets = 0
+        self.spin_waits = 0
+        self.total_spin_wait = 0
+        self.max_spin_wait = 0
+
+    def satisfied(self, target: int) -> bool:
+        return self.value >= target
+
+    def advance(self, value: int) -> List[Tuple["Task", int, int]]:
+        """Raise the flag (monotone) and return the now-satisfied waiters
+        for the kernel to resume."""
+        self.sets += 1
+        if value > self.value:
+            self.value = value
+        ready = [w for w in self.waiters if w[1] <= self.value]
+        if ready:
+            self.waiters = [w for w in self.waiters if w[1] > self.value]
+        return ready
+
+    def add_waiter(self, task: "Task", target: int, now: int) -> None:
+        self.waiters.append((task, target, now))
+
+    def record_wait(self, wait: int) -> None:
+        self.spin_waits += 1
+        self.total_spin_wait += wait
+        if wait > self.max_spin_wait:
+            self.max_spin_wait = wait
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FlagVar {self.name}={self.value} waiters={len(self.waiters)}>"

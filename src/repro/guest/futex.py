@@ -1,0 +1,85 @@
+"""Futex-style wait queues.
+
+Application synchronisation libraries (libgomp for OpenMP, the JVM for
+SPECjbb's monitors) implement waits as *spin-then-block* on a futex: spin in
+userspace for a bounded budget, then enter the kernel and sleep.  The
+kernel side serialises enqueue/wake through a **hash-bucket spinlock** —
+and that lock is precisely where application-level synchronisation turns
+into kernel spinlock traffic under contention, the mechanism the paper
+names in Section 2.2 ("synchronization APIs are implemented using atomic
+instructions and futex system calls ... synchronization in parallel
+applications may involve spinlocks or semaphores in kernel").
+
+:class:`FutexQueue` is the bookkeeping part: the waiting list and the
+generation counter whose bump signals waiters.  The guest kernel owns the
+bucket :class:`~repro.guest.spinlock.SpinLock` and the execution sequencing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.errors import GuestStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.task import Task
+
+
+class FutexQueue:
+    """One futex word's wait queue plus its generation counter."""
+
+    __slots__ = ("name", "generation", "blocked", "spinning",
+                 "wakes", "blocks", "spin_successes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Incremented by each wake-all; waiters compare against the value
+        #: they sampled before waiting (prevents lost wakeups).
+        self.generation = 0
+        #: Tasks asleep in the kernel: (task, block_cycle).
+        self.blocked: List[Tuple["Task", int]] = []
+        #: Tasks in the userspace spin phase: task -> sampled generation.
+        self.spinning: Dict["Task", int] = {}
+        self.wakes = 0
+        self.blocks = 0
+        self.spin_successes = 0
+
+    # ------------------------------------------------------------------ #
+    def sample(self) -> int:
+        """Read the generation (the futex word) before deciding to wait."""
+        return self.generation
+
+    def start_spin(self, task: "Task", expected: int) -> None:
+        self.spinning[task] = expected
+
+    def end_spin(self, task: "Task") -> None:
+        self.spinning.pop(task, None)
+
+    def spin_satisfied(self, task: "Task") -> bool:
+        """Has the generation moved past what this spinner sampled?"""
+        expected = self.spinning.get(task)
+        if expected is None:
+            raise GuestStateError(
+                f"task {task.name} not spinning on futex {self.name}")
+        return self.generation != expected
+
+    def block(self, task: "Task", expected: int, now: int) -> bool:
+        """Kernel-side wait: enqueue unless the generation already moved
+        (the futex's compare-and-block).  Returns True if enqueued."""
+        if self.generation != expected:
+            return False
+        self.blocked.append((task, now))
+        self.blocks += 1
+        return True
+
+    def wake_all(self) -> List[Tuple["Task", int]]:
+        """Bump the generation and drain the blocked list.  The caller (the
+        kernel, holding the bucket lock) makes the tasks READY."""
+        self.generation += 1
+        self.wakes += 1
+        woken, self.blocked = self.blocked, []
+        return woken
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<FutexQueue {self.name} gen={self.generation} "
+                f"blocked={len(self.blocked)} spinning={len(self.spinning)}>")

@@ -1,0 +1,133 @@
+"""The guest's "instruction set": operations a workload program may emit.
+
+A workload thread is an iterator of :class:`Op` values (a *program*).  The
+guest kernel expands each op into micro-steps (lock acquisitions, timed
+compute, blocking) and executes them against the simulated VCPU.  This tiny
+vocabulary is sufficient to express all of the paper's workloads:
+
+* ``Compute``   — burn CPU (the bulk of every benchmark);
+* ``Critical``  — a kernel-spinlock-protected critical section, the paper's
+  focus (point-to-point synchronisation in LU maps to these);
+* ``BarrierOp`` — an OpenMP-style barrier: futex bucket lock + counter +
+  spin-then-block wait (BT/CG/FT/MG/SP's dominant primitive);
+* ``SemDown`` / ``SemUp`` — blocking semaphore ops (the primitive the paper
+  shows virtualization does *not* hurt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Burn ``cycles`` of CPU time."""
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise WorkloadError(f"negative compute {self.cycles}")
+
+
+@dataclass(frozen=True)
+class Critical:
+    """Acquire spinlock ``lock``, compute for ``hold`` cycles, release.
+
+    The acquisition wait is measured by the guest's hrtimer and fed to the
+    Monitoring Module — this is where over-threshold spinlocks appear.
+    """
+
+    lock: str
+    hold: int
+
+    def __post_init__(self) -> None:
+        if self.hold < 0:
+            raise WorkloadError(f"negative hold {self.hold}")
+        if not self.lock:
+            raise WorkloadError("Critical needs a lock name")
+
+
+@dataclass(frozen=True)
+class BarrierOp:
+    """Arrive at barrier ``barrier`` and wait for all parties."""
+
+    barrier: str
+
+    def __post_init__(self) -> None:
+        if not self.barrier:
+            raise WorkloadError("BarrierOp needs a barrier name")
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Block for ``cycles`` of wall-clock time (a kernel timer sleep).
+
+    Used by daemon tasks (IRQ/housekeeping models) and by workloads with
+    think time.  The VCPU is released while sleeping.
+    """
+
+    cycles: int
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise WorkloadError(f"non-positive sleep {self.cycles}")
+
+
+@dataclass(frozen=True)
+class FlagSet:
+    """Raise shared flag ``flag`` to at least ``value`` (userspace store +
+    flush; effectively free)."""
+
+    flag: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if not self.flag:
+            raise WorkloadError("FlagSet needs a flag name")
+
+
+@dataclass(frozen=True)
+class FlagWait:
+    """Busy-wait (userspace spin, burning CPU) until flag >= ``value``.
+
+    Models NPB-LU's pipeline handoffs.  Never enters the kernel: the wait
+    is invisible to the Monitoring Module and unpreemptable by the guest.
+    """
+
+    flag: str
+    value: int
+
+    def __post_init__(self) -> None:
+        if not self.flag:
+            raise WorkloadError("FlagWait needs a flag name")
+
+
+@dataclass(frozen=True)
+class SemDown:
+    """P() on semaphore ``sem``: blocks when the count is zero."""
+
+    sem: str
+
+    def __post_init__(self) -> None:
+        if not self.sem:
+            raise WorkloadError("SemDown needs a semaphore name")
+
+
+@dataclass(frozen=True)
+class SemUp:
+    """V() on semaphore ``sem``: wakes one blocked waiter if any."""
+
+    sem: str
+
+    def __post_init__(self) -> None:
+        if not self.sem:
+            raise WorkloadError("SemUp needs a semaphore name")
+
+
+Op = Union[Compute, Critical, BarrierOp, SemDown, SemUp, FlagSet, FlagWait,
+           Sleep]
+Program = Iterator[Op]

@@ -1,0 +1,77 @@
+"""Blocking semaphores.
+
+The non-busy-waiting primitive (paper Section 2.2): a task that cannot take
+the semaphore is *descheduled inside the guest*, freeing the VCPU; the VMM
+notices the idle VCPU and keeps proportional-share fairness.  The paper's
+measurements show all semaphore waits stay under 2^16 cycles even at a
+22.2% online rate — our tests assert the analogue, namely that blocking
+waits consume no CPU and cause no over-threshold spin waits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import GuestStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.task import Task
+
+
+class Semaphore:
+    """Counting semaphore with a FIFO wait queue."""
+
+    __slots__ = ("name", "count", "waiters", "downs", "ups",
+                 "blocked_waits", "total_block_wait", "max_block_wait")
+
+    def __init__(self, name: str, initial: int = 0) -> None:
+        if initial < 0:
+            raise GuestStateError(f"semaphore {name}: negative initial count")
+        self.name = name
+        self.count = initial
+        #: FIFO of (task, block_cycle).
+        self.waiters: List[Tuple["Task", int]] = []
+        self.downs = 0
+        self.ups = 0
+        self.blocked_waits = 0
+        self.total_block_wait = 0
+        self.max_block_wait = 0
+
+    def try_down(self, task: "Task") -> bool:
+        """P(): take a unit if available; returns False when the caller
+        must block."""
+        self.downs += 1
+        if self.count > 0:
+            self.count -= 1
+            return True
+        return False
+
+    def enqueue_waiter(self, task: "Task", now: int) -> None:
+        self.waiters.append((task, now))
+
+    def remove_waiter(self, task: "Task") -> int:
+        for i, (t, since) in enumerate(self.waiters):
+            if t is task:
+                del self.waiters[i]
+                return since
+        raise GuestStateError(
+            f"task {task.name} not waiting on semaphore {self.name}")
+
+    def up(self, now: int) -> Optional[Tuple["Task", int]]:
+        """V(): wake the oldest waiter, returning ``(task, wait_cycles)``
+        for the kernel to make READY, or bank the unit when nobody waits."""
+        self.ups += 1
+        if self.waiters:
+            task, since = self.waiters.pop(0)
+            wait = now - since
+            self.blocked_waits += 1
+            self.total_block_wait += wait
+            if wait > self.max_block_wait:
+                self.max_block_wait = wait
+            return task, wait
+        self.count += 1
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Semaphore {self.name} count={self.count} "
+                f"waiters={len(self.waiters)}>")

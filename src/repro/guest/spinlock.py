@@ -1,0 +1,108 @@
+"""Kernel spinlocks with wait-time instrumentation.
+
+This models the Linux 2.6.18-era spinlock (a plain test-and-set race, *not*
+a ticket lock): on release, the lock is handed to the **oldest waiter that
+is actively spinning right now**, i.e. whose task currently occupies an
+online VCPU.  Waiters whose VCPU has been descheduled keep "spinning" in
+wall-clock terms — their wait continues to accrue — and only get a chance
+to grab the lock when their VCPU comes back online and finds it free.
+
+Two pathologies emerge exactly as in the paper:
+
+* **Lock-holder preemption** — the holder's VCPU is descheduled mid
+  critical section; every online waiter burns its whole slice spinning, and
+  the measured wait reaches 2^24–2^30 cycles.
+* **Preempted-waiter starvation** — a waiter that was offline when the lock
+  was released loses the race to newer online arrivals (the real lock's
+  unfairness), stretching its wait further.
+
+Every acquisition's wait time (as the guest's hrtimer would measure it) is
+reported to the kernel's instrumentation hook — this is the paper's
+"insert code into the spinlock code in the kernel" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from repro.errors import GuestStateError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.task import Task
+
+
+class SpinLock:
+    """A named guest-kernel spinlock."""
+
+    __slots__ = ("name", "holder", "waiters", "acquisitions",
+                 "contended_acquisitions", "max_wait", "total_wait",
+                 "held_since")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.holder: Optional["Task"] = None
+        #: FIFO of (task, request_cycle); tasks stay here while spinning,
+        #: online or not.
+        self.waiters: List[Tuple["Task", int]] = []
+        self.acquisitions = 0
+        self.contended_acquisitions = 0
+        self.max_wait = 0
+        self.total_wait = 0
+        self.held_since: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_held(self) -> bool:
+        return self.holder is not None
+
+    def try_acquire(self, task: "Task", now: int) -> bool:
+        """Attempt an immediate acquisition (the fast path, or an online
+        spinner noticing a free lock).  Returns True on success."""
+        if self.holder is not None:
+            return False
+        self.holder = task
+        self.held_since = now
+        return True
+
+    def enqueue_waiter(self, task: "Task", now: int) -> None:
+        """Register ``task`` as a spinner; its wait clock starts now."""
+        self.waiters.append((task, now))
+
+    def remove_waiter(self, task: "Task") -> int:
+        """Remove ``task`` from the waiter list, returning its request
+        cycle.  Raises if it was not waiting."""
+        for i, (t, since) in enumerate(self.waiters):
+            if t is task:
+                del self.waiters[i]
+                return since
+        raise GuestStateError(
+            f"task {task.name} not waiting on spinlock {self.name}")
+
+    def release(self, task: "Task") -> None:
+        """Drop the lock.  The *kernel* decides who acquires next (it knows
+        which waiters are online); the lock just validates ownership."""
+        if self.holder is not task:
+            holder = self.holder.name if self.holder else None
+            raise GuestStateError(
+                f"task {task.name} releasing spinlock {self.name} "
+                f"held by {holder}")
+        self.holder = None
+        self.held_since = None
+
+    def record_acquisition(self, wait: int) -> None:
+        """Bookkeeping for one completed acquisition with ``wait`` cycles."""
+        self.acquisitions += 1
+        self.total_wait += wait
+        if wait > self.max_wait:
+            self.max_wait = wait
+
+    def record_contended(self) -> None:
+        self.contended_acquisitions += 1
+
+    def mean_wait(self) -> float:
+        return self.total_wait / self.acquisitions if self.acquisitions else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        holder = self.holder.name if self.holder else "-"
+        return (f"<SpinLock {self.name} holder={holder} "
+                f"waiters={len(self.waiters)}>")

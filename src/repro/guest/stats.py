@@ -1,0 +1,115 @@
+"""Guest kernel introspection: summary tables of a running guest.
+
+The simulator equivalent of peeking at ``/proc``: task states, lock
+contention tables, futex/barrier counters and flag-spin totals for one
+:class:`~repro.guest.kernel.GuestKernel`.  Used by the CLI's verbose
+mode, the examples, and by tests that want a one-call health check of a
+guest's synchronisation behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from repro import units
+from repro.guest.task import TaskState
+from repro.metrics.report import Table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.kernel import GuestKernel
+
+
+@dataclass(frozen=True)
+class LockStats:
+    name: str
+    acquisitions: int
+    contended: int
+    max_wait: int
+    mean_wait: float
+
+    @property
+    def contention_ratio(self) -> float:
+        if self.acquisitions == 0:
+            return 0.0
+        return self.contended / self.acquisitions
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    name: str
+    state: str
+    daemon: bool
+    ops_completed: int
+    compute_seconds: float
+
+
+class GuestSnapshot:
+    """Point-in-time summary of one guest kernel."""
+
+    def __init__(self, kernel: "GuestKernel") -> None:
+        self.vm_name = kernel.vm.name
+        self.time = kernel.sim.now
+        self.tasks: List[TaskStats] = [
+            TaskStats(t.name, t.state.value, t.daemon, t.ops_completed,
+                      units.to_seconds(t.compute_cycles_done))
+            for t in kernel.tasks]
+        self.locks: List[LockStats] = [
+            LockStats(lk.name, lk.acquisitions, lk.contended_acquisitions,
+                      lk.max_wait, lk.mean_wait())
+            for lk in kernel.locks.values()]
+        self.sem_waits = {s.name: s.blocked_waits
+                          for s in kernel.semaphores.values()}
+        self.barrier_crossings = {b.name: b.crossings
+                                  for b in kernel.barriers.values()}
+        self.futex_blocks = sum(b.futex.blocks
+                                for b in kernel.barriers.values())
+        self.futex_spin_successes = sum(b.futex.spin_successes
+                                        for b in kernel.barriers.values())
+        self.flag_spin_seconds = units.to_seconds(
+            sum(f.total_spin_wait for f in kernel.flags.values()))
+        self.irq_count = kernel.irq_count
+        self.guest_switches = kernel.guest_switches
+
+    # ------------------------------------------------------------------ #
+    def runnable_tasks(self) -> int:
+        return sum(1 for t in self.tasks
+                   if t.state in ("running", "ready", "spinning"))
+
+    def total_acquisitions(self) -> int:
+        return sum(l.acquisitions for l in self.locks)
+
+    def hottest_locks(self, n: int = 5) -> List[LockStats]:
+        return sorted(self.locks, key=lambda l: l.contended,
+                      reverse=True)[:n]
+
+    def worst_wait(self) -> int:
+        return max((l.max_wait for l in self.locks), default=0)
+
+    # ------------------------------------------------------------------ #
+    def render(self, max_rows: int = 12) -> str:
+        parts = [f"guest snapshot: {self.vm_name} at "
+                 f"{units.to_seconds(self.time):.3f}s"]
+        tt = Table(["task", "state", "ops", "compute_s"], title="tasks")
+        for t in self.tasks[:max_rows]:
+            label = t.name + (" [d]" if t.daemon else "")
+            tt.add_row(label, t.state, t.ops_completed, t.compute_seconds)
+        parts.append(tt.render())
+        lt = Table(["lock", "acq", "contended", "max_wait_log2"],
+                   title="hottest locks")
+        for l in self.hottest_locks():
+            lt.add_row(l.name, l.acquisitions, l.contended,
+                       units.log2_cycles(l.max_wait))
+        parts.append(lt.render())
+        parts.append(
+            f"futex: {self.futex_blocks} blocks, "
+            f"{self.futex_spin_successes} spin-successes; "
+            f"flag-spin: {self.flag_spin_seconds:.3f}s; "
+            f"irqs: {self.irq_count}; "
+            f"guest switches: {self.guest_switches}")
+        return "\n".join(parts)
+
+
+def snapshot(kernel: "GuestKernel") -> GuestSnapshot:
+    """Take a summary snapshot of a guest kernel."""
+    return GuestSnapshot(kernel)

@@ -1,0 +1,7 @@
+"""Simulated physical hardware: PCPUs, topology, IPI fabric, timers."""
+
+from repro.hardware.machine import Machine, PCPU
+from repro.hardware.topology import Topology
+from repro.hardware.ipi import IPIFabric
+
+__all__ = ["Machine", "PCPU", "Topology", "IPIFabric"]

@@ -1,0 +1,118 @@
+"""The physical machine: PCPUs and their occupancy accounting.
+
+A :class:`PCPU` is deliberately dumb: it knows which VCPU currently occupies
+it and keeps busy/idle cycle accounting.  *What* runs on it is decided by
+the VMM scheduler (:mod:`repro.vmm`); the PCPU only exposes the mechanics
+(`occupy` / `vacate`) plus utilisation counters that the fairness metrics
+read.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.config import MachineConfig
+from repro.errors import SchedulerInvariantError
+from repro.hardware.topology import Topology
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vmm.vm import VCPU
+
+
+class PCPU:
+    """One physical CPU.
+
+    Attributes
+    ----------
+    current:
+        The VCPU occupying this PCPU, or None when idle.
+    busy_cycles / idle_cycles:
+        Total occupancy accounting, updated lazily on every transition.
+    """
+
+    __slots__ = ("id", "socket", "_sim", "current", "busy_cycles",
+                 "idle_cycles", "_last_transition", "switches")
+
+    def __init__(self, pcpu_id: int, socket: int, sim: Simulator) -> None:
+        self.id = pcpu_id
+        self.socket = socket
+        self._sim = sim
+        self.current: Optional["VCPU"] = None
+        self.busy_cycles = 0
+        self.idle_cycles = 0
+        self._last_transition = sim.now
+        self.switches = 0
+
+    # ------------------------------------------------------------------ #
+    def _account(self) -> None:
+        elapsed = self._sim.now - self._last_transition
+        if elapsed:
+            if self.current is None:
+                self.idle_cycles += elapsed
+            else:
+                self.busy_cycles += elapsed
+            self._last_transition = self._sim.now
+
+    def occupy(self, vcpu: "VCPU") -> None:
+        """Install ``vcpu`` as the running VCPU.  The PCPU must be vacant."""
+        if self.current is not None:
+            raise SchedulerInvariantError(
+                f"PCPU {self.id} already runs {self.current!r}")
+        self._account()
+        self.current = vcpu
+        self.switches += 1
+
+    def vacate(self) -> Optional["VCPU"]:
+        """Remove and return the running VCPU (None if already idle)."""
+        self._account()
+        vcpu, self.current = self.current, None
+        return vcpu
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time this PCPU was busy (0 if no time passed)."""
+        self._account()
+        total = self.busy_cycles + self.idle_cycles
+        return self.busy_cycles / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        running = getattr(self.current, "name", None)
+        return f"<PCPU {self.id} running={running}>"
+
+
+class Machine:
+    """The simulated physical computer: a set of homogeneous PCPUs.
+
+    In the paper's notation this is P = {P0, ..., P_{|P|-1}}.
+    """
+
+    def __init__(self, config: MachineConfig, sim: Simulator) -> None:
+        self.config = config
+        self.sim = sim
+        self.topology = Topology(config.num_pcpus, config.sockets)
+        self.pcpus: List[PCPU] = [
+            PCPU(i, self.topology.socket_of(i), sim)
+            for i in range(config.num_pcpus)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.pcpus)
+
+    def __getitem__(self, pcpu_id: int) -> PCPU:
+        return self.pcpus[pcpu_id]
+
+    def __iter__(self):
+        return iter(self.pcpus)
+
+    def idle_pcpus(self) -> List[PCPU]:
+        return [p for p in self.pcpus if p.is_idle]
+
+    def total_utilization(self) -> float:
+        """Mean PCPU utilisation across the machine."""
+        if not self.pcpus:
+            return 0.0
+        return sum(p.utilization() for p in self.pcpus) / len(self.pcpus)

@@ -1,0 +1,61 @@
+"""CPU topology: sockets and cores.
+
+The paper's testbed is a dual-socket quad-core machine.  Topology matters
+for two things here: IPI latency could differ across sockets (we model a
+single latency, but the fabric asks the topology for distance so this can
+be extended), and the paper's future-work section points at LLC-aware
+scheduling — the ablation benches use :meth:`Topology.same_socket` for that.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class Topology:
+    """Maps PCPU ids to (socket, core) coordinates."""
+
+    def __init__(self, num_pcpus: int, sockets: int) -> None:
+        if sockets <= 0 or num_pcpus % sockets != 0:
+            raise ConfigurationError(
+                f"{num_pcpus} PCPUs do not divide into {sockets} sockets")
+        self.num_pcpus = num_pcpus
+        self.sockets = sockets
+        self.cores_per_socket = num_pcpus // sockets
+
+    def socket_of(self, pcpu_id: int) -> int:
+        """Socket index of a PCPU (PCPUs are numbered socket-major)."""
+        self._check(pcpu_id)
+        return pcpu_id // self.cores_per_socket
+
+    def core_of(self, pcpu_id: int) -> int:
+        """Core index within its socket."""
+        self._check(pcpu_id)
+        return pcpu_id % self.cores_per_socket
+
+    def same_socket(self, a: int, b: int) -> bool:
+        return self.socket_of(a) == self.socket_of(b)
+
+    def siblings(self, pcpu_id: int) -> List[int]:
+        """All PCPUs sharing the socket (including ``pcpu_id`` itself)."""
+        s = self.socket_of(pcpu_id)
+        base = s * self.cores_per_socket
+        return list(range(base, base + self.cores_per_socket))
+
+    def distance(self, a: int, b: int) -> int:
+        """0 = same core, 1 = same socket, 2 = cross-socket."""
+        self._check(a)
+        self._check(b)
+        if a == b:
+            return 0
+        return 1 if self.same_socket(a, b) else 2
+
+    def _check(self, pcpu_id: int) -> None:
+        if not 0 <= pcpu_id < self.num_pcpus:
+            raise ConfigurationError(f"PCPU id {pcpu_id} out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"Topology({self.sockets} sockets x "
+                f"{self.cores_per_socket} cores)")

@@ -1,0 +1,23 @@
+"""Measurement collectors and reporting.
+
+Collectors subscribe to the trace bus at testbed construction time and
+accumulate exactly the quantities the paper's figures plot: spinlock
+waiting-time distributions (Figs 1b, 2, 8), run times and slowdowns
+(Figs 1a, 7, 9, 11, 12), SPECjbb throughput (Fig 10), and CPU-share
+fairness (the property all three schedulers must preserve).
+"""
+
+from repro.metrics.spinlock_stats import SpinlockStats
+from repro.metrics.runtime import RuntimeCollector, slowdown
+from repro.metrics.throughput import spec_rate, bops_score
+from repro.metrics.fairness import FairnessReport, jains_index
+from repro.metrics.report import Table, format_series
+from repro.metrics.timeline import Segment, TimelineCollector
+from repro.metrics import ascii_plot, export
+
+__all__ = [
+    "SpinlockStats", "RuntimeCollector", "slowdown",
+    "spec_rate", "bops_score", "FairnessReport", "jains_index",
+    "Table", "format_series",
+    "Segment", "TimelineCollector", "ascii_plot", "export",
+]

@@ -1,0 +1,154 @@
+"""Terminal plots: render figure series without a plotting stack.
+
+The paper's figures are scatter plots, bar charts and line plots; these
+helpers render recognisable equivalents as plain text so ``examples/``
+and the bench result files can show the *shape* directly.  All functions
+return strings (the caller prints), are deterministic, and degrade
+gracefully on empty input.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return max(0, min(width - 1, int(pos * (width - 1))))
+
+
+def scatter(points: Sequence[Tuple[float, float]], width: int = 72,
+            height: int = 16, title: str = "",
+            x_label: str = "x", y_label: str = "y") -> str:
+    """An x/y scatter (Figures 2 and 8 style)."""
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = _scale(x, x_lo, x_hi, width)
+        row = height - 1 - _scale(y, y_lo, y_hi, height)
+        grid[row][col] = "*"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label} [{y_lo:.1f} .. {y_hi:.1f}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} [{x_lo:.0f} .. {x_hi:.0f}]")
+    return "\n".join(lines)
+
+
+def bar_chart(data: Dict[str, float], width: int = 50,
+              title: str = "", unit: str = "") -> str:
+    """Horizontal bars (Figures 7/11/12 style)."""
+    if not data:
+        return f"{title}\n(no data)"
+    hi = max(data.values())
+    label_w = max(len(k) for k in data)
+    lines = [title] if title else []
+    for key, value in data.items():
+        n = _scale(value, 0.0, hi, width) + 1 if hi > 0 else 0
+        lines.append(f"{key.ljust(label_w)} |{'#' * n:<{width}} "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(groups: Dict[str, Dict[str, float]], width: int = 40,
+                 title: str = "", unit: str = "") -> str:
+    """Grouped horizontal bars: {x_label: {series: value}} (Figure 11)."""
+    if not groups:
+        return f"{title}\n(no data)"
+    hi = max(v for g in groups.values() for v in g.values())
+    series_w = max(len(s) for g in groups.values() for s in g)
+    lines = [title] if title else []
+    for group, values in groups.items():
+        lines.append(group)
+        for series, value in values.items():
+            n = _scale(value, 0.0, hi, width) + 1 if hi > 0 else 0
+            lines.append(f"  {series.ljust(series_w)} "
+                         f"|{'#' * n:<{width}} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(series: Dict[str, List[Tuple[float, float]]],
+              width: int = 64, height: int = 14, title: str = "",
+              markers: str = "*o+x#@") -> str:
+    """Several (x, y) series on one grid, one marker per series."""
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for i, (name, pts) in enumerate(series.items()):
+        mark = markers[i % len(markers)]
+        legend.append(f"{mark}={name}")
+        for x, y in pts:
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            grid[row][col] = mark
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y [{y_lo:.2f} .. {y_hi:.2f}]   " + "  ".join(legend))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x [{x_lo:.1f} .. {x_hi:.1f}]")
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 20, width: int = 50,
+              title: str = "", log_counts: bool = False) -> str:
+    """A vertical-bar histogram rendered horizontally."""
+    if not values:
+        return f"{title}\n(no data)"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in values:
+        idx = min(bins - 1, int((v - lo) / (hi - lo) * bins))
+        counts[idx] += 1
+    peak = max(counts)
+    lines = [title] if title else []
+    for i, c in enumerate(counts):
+        left = lo + (hi - lo) * i / bins
+        display = math.log1p(c) if log_counts else float(c)
+        peak_display = math.log1p(peak) if log_counts else float(peak)
+        n = _scale(display, 0.0, peak_display, width) + (1 if c else 0)
+        lines.append(f"{left:10.1f} |{'#' * n:<{width}} {c}")
+    return "\n".join(lines)
+
+
+def wait_histogram(waits_log2: Sequence[float], title: str = "",
+                   threshold: Optional[float] = 20.0) -> str:
+    """Log2-binned spinlock wait histogram with the 2^delta marker —
+    the textual version of Figures 1(b)/2."""
+    if not waits_log2:
+        return f"{title}\n(no data)"
+    lo = int(min(waits_log2))
+    hi = int(max(waits_log2)) + 1
+    counts = {k: 0 for k in range(lo, hi + 1)}
+    for w in waits_log2:
+        counts[int(w)] += 1
+    peak = max(counts.values())
+    lines = [title] if title else []
+    for k in range(lo, hi + 1):
+        c = counts[k]
+        n = _scale(math.log1p(c), 0.0, math.log1p(peak), 40) + (1 if c else 0)
+        marker = " <- 2^delta threshold" if threshold is not None and \
+            k == int(threshold) else ""
+        lines.append(f"2^{k:<3d}|{'#' * n:<40} {c}{marker}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Exporting results: CSV and JSON serialisation of figures and traces.
+
+Downstream users typically want the reproduced series in a
+machine-readable form (to plot with their own stack, or to diff across
+runs in CI).  These helpers serialise :class:`FigureResult` objects,
+spinlock statistics and raw trace records without adding dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.sim.tracing import TraceRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.figures import FigureResult
+    from repro.metrics.spinlock_stats import SpinlockStats
+
+
+def figure_to_json(result: "FigureResult", indent: int = 2) -> str:
+    """Serialise a FigureResult (figure, description, series, notes)."""
+    payload = {
+        "figure": result.figure,
+        "description": result.description,
+        "series": {name: [[x, y] for x, y in points]
+                   for name, points in result.series.items()},
+        "notes": dict(result.notes),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def figure_to_csv(result: "FigureResult") -> str:
+    """Long-format CSV: series,x,y — one row per point."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["series", "x", "y"])
+    for name, points in result.series.items():
+        for x, y in points:
+            writer.writerow([name, x, y])
+    return buf.getvalue()
+
+
+def figure_from_json(text: str) -> Dict:
+    """Parse a figure JSON back into plain dicts (round-trip checks)."""
+    payload = json.loads(text)
+    for key in ("figure", "description", "series"):
+        if key not in payload:
+            raise ValueError(f"not a figure export: missing {key!r}")
+    payload["series"] = {
+        name: [tuple(p) for p in points]
+        for name, points in payload["series"].items()}
+    return payload
+
+
+def spinlock_stats_to_csv(stats: "SpinlockStats") -> str:
+    """CSV of every recorded wait: time_cycles,lock,wait_cycles."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(["time_cycles", "lock", "wait_cycles"])
+    for t, lock, w in zip(stats.times, stats.locks, stats.waits):
+        writer.writerow([t, lock, w])
+    return buf.getvalue()
+
+
+def trace_records_to_json(records: Sequence[TraceRecord],
+                          indent: Optional[int] = None) -> str:
+    """Serialise retained trace records (category/time/payload)."""
+    payload: List[Dict] = [
+        {"time": r.time, "category": r.category, "payload": r.payload}
+        for r in records]
+    return json.dumps(payload, indent=indent, default=str)
+
+
+def write_text(path, text: str) -> None:
+    """Small helper so exports and bench artifacts share one write path."""
+    import pathlib
+    p = pathlib.Path(path)
+    p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(text)

@@ -1,0 +1,80 @@
+"""CPU-share fairness measurements.
+
+Every scheduler in the paper must preserve proportional-share fairness
+("coscheduling should also keep this kind of proportional share fairness",
+Section 1).  These helpers compare each VM's measured CPU time against its
+weight entitlement and compute Jain's fairness index over the normalised
+shares; the integration tests assert all three schedulers stay close to
+1.0 under saturated multi-VM load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.vmm.vm import VM
+
+
+def jains_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2); 1.0 = perfectly
+    fair, 1/n = maximally unfair."""
+    vals = [v for v in values]
+    if not vals:
+        raise ConfigurationError("empty value list")
+    if any(v < 0 for v in vals):
+        raise ConfigurationError("values must be non-negative")
+    total = sum(vals)
+    sq = sum(v * v for v in vals)
+    if total == 0 or sq == 0.0:
+        # All-zero shares (or squares underflowing to zero for denormal
+        # inputs): nobody is being favoured, report perfect fairness.
+        return 1.0
+    return (total * total) / (len(vals) * sq)
+
+
+@dataclass(frozen=True)
+class VMShare:
+    vm: str
+    weight: int
+    entitled_fraction: float
+    measured_fraction: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.entitled_fraction == 0:
+            return 0.0
+        return abs(self.measured_fraction - self.entitled_fraction) \
+            / self.entitled_fraction
+
+
+class FairnessReport:
+    """Snapshot of CPU-share fairness among a set of VMs."""
+
+    def __init__(self, vms: List[VM], elapsed_cycles: int,
+                 num_pcpus: int) -> None:
+        if elapsed_cycles <= 0:
+            raise ConfigurationError("elapsed time must be positive")
+        total_weight = sum(vm.weight for vm in vms)
+        capacity = elapsed_cycles * num_pcpus
+        self.shares: List[VMShare] = []
+        for vm in vms:
+            entitled = vm.weight / total_weight
+            measured = vm.cpu_time() / capacity
+            self.shares.append(VMShare(vm.name, vm.weight, entitled, measured))
+
+    def by_vm(self) -> Dict[str, VMShare]:
+        return {s.vm: s for s in self.shares}
+
+    def normalized_shares(self) -> List[float]:
+        """measured/entitled per VM — the input to Jain's index."""
+        return [s.measured_fraction / s.entitled_fraction
+                if s.entitled_fraction else 0.0
+                for s in self.shares]
+
+    def jains(self) -> float:
+        return jains_index(self.normalized_shares())
+
+    def max_relative_error(self) -> float:
+        return max(s.relative_error for s in self.shares)

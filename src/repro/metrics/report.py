@@ -1,0 +1,77 @@
+"""Plain-text tables and series for the benchmark harness output.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and diff-friendly (EXPERIMENTS.md embeds
+them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _fmt(value: Cell, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A simple fixed-width text table."""
+
+    def __init__(self, columns: Sequence[str], title: str = "",
+                 precision: int = 3) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+        self.precision = precision
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}")
+        self.rows.append([_fmt(c, self.precision) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_series(name: str, xs: Sequence[Cell], ys: Sequence[Cell],
+                  x_label: str = "x", y_label: str = "y",
+                  precision: int = 3) -> str:
+    """One figure series as aligned '<x> <y>' pairs with a header."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines = [f"series: {name} ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {_fmt(x, precision):>12}  {_fmt(y, precision)}")
+    return "\n".join(lines)
+
+
+def format_mapping(title: str, data: Dict[str, Cell],
+                   precision: int = 3) -> str:
+    """A titled key/value block with aligned keys."""
+    lines = [title]
+    width = max((len(k) for k in data), default=0)
+    for key, value in data.items():
+        lines.append(f"  {key.ljust(width)}  {_fmt(value, precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Run-time measurement and the paper's slowdown metric.
+
+The slowdown of a benchmark at an online rate below 100% is "the ratio of
+its run time to the run time of the same benchmark running on the same VM
+scheduled by the Credit Scheduler with the VCPU online rate equaling 100%"
+(Section 5.2).  :func:`slowdown` implements exactly that; the ideal
+slowdown at rate ``r`` is ``1/r``, so values above ``1/r`` quantify the
+virtualization-induced synchronisation overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.sim.tracing import TraceBus, TraceRecord
+
+
+class RuntimeCollector:
+    """Records per-VM workload completion times and per-task finishes."""
+
+    def __init__(self, trace: TraceBus) -> None:
+        self.workload_done: Dict[str, int] = {}
+        self.task_done: Dict[str, List[int]] = {}
+        trace.subscribe("workload.done", self._on_workload)
+        trace.subscribe("task.done", self._on_task)
+
+    def _on_workload(self, rec: TraceRecord) -> None:
+        self.workload_done[rec["vm"]] = rec.time
+
+    def _on_task(self, rec: TraceRecord) -> None:
+        self.task_done.setdefault(rec["vm"], []).append(rec.time)
+
+    # ------------------------------------------------------------------ #
+    def runtime_cycles(self, vm_name: str) -> int:
+        t = self.workload_done.get(vm_name)
+        if t is None:
+            raise WorkloadError(f"workload in {vm_name} has not finished")
+        return t
+
+    def runtime_seconds(self, vm_name: str) -> float:
+        return units.to_seconds(self.runtime_cycles(vm_name))
+
+    def finished(self, vm_name: str) -> bool:
+        return vm_name in self.workload_done
+
+
+def slowdown(runtime: float, baseline_runtime: float) -> float:
+    """Section 5.2's slowdown: runtime / (Credit @ 100% runtime)."""
+    if baseline_runtime <= 0:
+        raise WorkloadError("baseline runtime must be positive")
+    return runtime / baseline_runtime
+
+
+def ideal_slowdown(online_rate: float) -> float:
+    """The no-overhead expectation: a VM with ``rate`` of a CPU takes
+    1/rate as long."""
+    if not 0 < online_rate <= 1:
+        raise WorkloadError("online rate must be in (0, 1]")
+    return 1.0 / online_rate
+
+
+def excess_slowdown(measured: float, online_rate: float) -> float:
+    """How much worse than ideal: measured_slowdown / ideal_slowdown.
+
+    1.0 means virtualization cost nothing beyond the fair share; the
+    paper's Credit-scheduler LU runs reach ~1.5x at 22.2%.
+    """
+    return measured / ideal_slowdown(online_rate)

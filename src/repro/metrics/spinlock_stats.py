@@ -1,0 +1,91 @@
+"""Spinlock waiting-time statistics (the measurements behind Figs 1b/2/8).
+
+Subscribes to ``spinlock.wait`` trace records (only waits above the 2^10
+measurement floor are emitted, matching the paper's instrumentation) and
+provides the paper's views of them:
+
+* counts above arbitrary 2^k thresholds (Figure 1b's two bar families);
+* the per-spinlock scatter series — (acquisition index, log2 wait) —
+  that Figures 2 and 8 plot;
+* log2-binned histograms and locality/burstiness summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import units
+from repro.sim.tracing import TraceBus, TraceRecord
+
+
+class SpinlockStats:
+    """Collects (time, wait) pairs for one VM (or all VMs)."""
+
+    def __init__(self, trace: TraceBus, vm_name: Optional[str] = None) -> None:
+        self.vm_name = vm_name
+        self.times: List[int] = []
+        self.waits: List[int] = []
+        self.locks: List[str] = []
+        trace.subscribe("spinlock.wait", self._on_wait)
+
+    def _on_wait(self, rec: TraceRecord) -> None:
+        if self.vm_name is not None and rec["vm"] != self.vm_name:
+            return
+        self.times.append(rec.time)
+        self.waits.append(rec["wait"])
+        self.locks.append(rec["lock"])
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.waits)
+
+    def count_above(self, exp: int, window: Optional[Tuple[int, int]] = None) -> int:
+        """Number of recorded waits strictly above 2**exp cycles."""
+        threshold = 1 << exp
+        if window is None:
+            return sum(1 for w in self.waits if w > threshold)
+        lo, hi = window
+        return sum(1 for t, w in zip(self.times, self.waits)
+                   if lo <= t < hi and w > threshold)
+
+    def over_threshold_times(self, exp: int = units.DELTA_EXP) -> List[int]:
+        """Timestamps of waits above 2**exp (for locality analysis)."""
+        threshold = 1 << exp
+        return [t for t, w in zip(self.times, self.waits) if w > threshold]
+
+    def scatter(self) -> List[Tuple[int, float]]:
+        """Figure 2/8 series: (acquisition index, log2 wait)."""
+        return [(i, units.log2_cycles(w)) for i, w in enumerate(self.waits)]
+
+    def histogram(self, min_exp: int = 10, max_exp: int = 31) -> Dict[int, int]:
+        """Counts per log2 bin: bin k holds waits in [2^k, 2^(k+1))."""
+        hist = {k: 0 for k in range(min_exp, max_exp)}
+        for w in self.waits:
+            if w <= 0:
+                continue
+            k = min(max_exp - 1, max(min_exp, w.bit_length() - 1))
+            hist[k] += 1
+        return hist
+
+    def max_wait(self) -> int:
+        return max(self.waits) if self.waits else 0
+
+    def mean_wait(self) -> float:
+        return float(np.mean(self.waits)) if self.waits else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.waits:
+            return 0.0
+        return float(np.percentile(self.waits, q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "recorded": float(len(self)),
+            "over_2^10": float(self.count_above(10)),
+            "over_2^15": float(self.count_above(15)),
+            "over_2^20": float(self.count_above(20)),
+            "over_2^25": float(self.count_above(25)),
+            "max_log2": units.log2_cycles(self.max_wait()),
+        }

@@ -1,0 +1,53 @@
+"""Throughput metrics: SPECjbb bops/score and the SPEC rate metric."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.errors import WorkloadError
+
+
+def bops_score(throughputs_by_warehouses: Dict[int, float],
+               num_vcpus: int) -> float:
+    """SPECjbb2005's score: "the average value of those throughput
+    measurements when the number of warehouses is not less than 4 (the
+    number of VCPUs)" (Section 5.2).
+
+    ``throughputs_by_warehouses`` maps warehouse count -> bops.
+    """
+    eligible = [v for w, v in throughputs_by_warehouses.items()
+                if w >= num_vcpus]
+    if not eligible:
+        raise WorkloadError(
+            f"no measurements with >= {num_vcpus} warehouses")
+    return sum(eligible) / len(eligible)
+
+
+def spec_rate(copies: int, reference_seconds: float,
+              measured_seconds: float) -> float:
+    """The SPEC rate metric: copies * (reference time / measured time).
+
+    We use the Credit-@100% run as the reference, so rates are relative
+    within an experiment (absolute SPEC references are meaningless on a
+    simulator).
+    """
+    if measured_seconds <= 0 or reference_seconds <= 0:
+        raise WorkloadError("times must be positive")
+    if copies < 1:
+        raise WorkloadError("copies must be >= 1")
+    return copies * reference_seconds / measured_seconds
+
+
+def throughput_degradation(baseline: float, measured: float) -> float:
+    """Fractional loss vs. baseline (0.08 = 8% slower), clamped at 0 for
+    measurements that beat the baseline."""
+    if baseline <= 0:
+        raise WorkloadError("baseline must be positive")
+    return max(0.0, (baseline - measured) / baseline)
+
+
+def mean_of(values: Sequence[float]) -> float:
+    """Arithmetic mean; rejects empty input explicitly."""
+    if not values:
+        raise WorkloadError("empty sequence")
+    return sum(values) / len(values)

@@ -1,0 +1,136 @@
+"""Scheduling timelines: who ran where, and how co-online a VM's gang was.
+
+Subscribes to ``sched.switch`` records (occupations *and* vacations) and
+reconstructs per-PCPU occupancy segments.  From those it derives the
+metric the whole paper is about but never names directly — the
+**co-online fraction**: of the time during which at least one of a VM's
+VCPUs was online, how much had *all* of them online simultaneously?
+Under strict gang scheduling it approaches 1; under plain Credit at a
+low cap it collapses; ASMan sits in between, tracking the workload's
+synchronisation phases.
+
+Also renders ASCII Gantt charts for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus, TraceRecord
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One occupancy stretch: ``vcpu`` (a name) ran on ``pcpu``."""
+
+    pcpu: int
+    vcpu: str
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+class TimelineCollector:
+    """Builds per-PCPU segment lists from the trace bus."""
+
+    def __init__(self, trace: TraceBus, sim: Simulator) -> None:
+        self.sim = sim
+        self._open: Dict[int, Tuple[str, int]] = {}
+        self.segments: List[Segment] = []
+        trace.subscribe("sched.switch", self._on_switch)
+
+    def _on_switch(self, rec: TraceRecord) -> None:
+        pcpu = rec["pcpu"]
+        vcpu = rec["vcpu"]
+        open_seg = self._open.pop(pcpu, None)
+        if open_seg is not None:
+            name, start = open_seg
+            if rec.time > start:
+                self.segments.append(Segment(pcpu, name, start, rec.time))
+        if vcpu is not None:
+            self._open[pcpu] = (vcpu, rec.time)
+
+    def close(self) -> None:
+        """Flush still-open segments up to the current simulation time."""
+        for pcpu, (name, start) in list(self._open.items()):
+            if self.sim.now > start:
+                self.segments.append(Segment(pcpu, name, start, self.sim.now))
+        self._open.clear()
+
+    # ------------------------------------------------------------------ #
+    def pcpu_segments(self, pcpu: int) -> List[Segment]:
+        return sorted((s for s in self.segments if s.pcpu == pcpu),
+                      key=lambda s: s.start)
+
+    def vcpu_intervals(self, vcpu_name: str) -> List[Tuple[int, int]]:
+        """Online intervals of one VCPU (by its ``vm/vN`` name)."""
+        return sorted((s.start, s.end) for s in self.segments
+                      if s.vcpu == vcpu_name)
+
+    def vm_vcpu_names(self, vm_name: str) -> List[str]:
+        names = {s.vcpu for s in self.segments
+                 if s.vcpu.startswith(vm_name + "/")}
+        return sorted(names)
+
+    # ------------------------------------------------------------------ #
+    def concurrency_profile(self, vm_name: str) -> Dict[int, int]:
+        """cycles spent with exactly k of the VM's VCPUs online, k >= 1."""
+        events: List[Tuple[int, int]] = []
+        for name in self.vm_vcpu_names(vm_name):
+            for start, end in self.vcpu_intervals(name):
+                events.append((start, +1))
+                events.append((end, -1))
+        events.sort()
+        profile: Dict[int, int] = {}
+        depth = 0
+        prev: Optional[int] = None
+        for time, delta in events:
+            if prev is not None and depth > 0 and time > prev:
+                profile[depth] = profile.get(depth, 0) + (time - prev)
+            depth += delta
+            prev = time
+        return profile
+
+    def co_online_fraction(self, vm_name: str,
+                           parties: Optional[int] = None) -> float:
+        """Fraction of the VM's any-online time with all VCPUs online."""
+        profile = self.concurrency_profile(vm_name)
+        total = sum(profile.values())
+        if total == 0:
+            return 0.0
+        k = parties if parties is not None \
+            else len(self.vm_vcpu_names(vm_name))
+        return profile.get(k, 0) / total
+
+    # ------------------------------------------------------------------ #
+    def gantt(self, start: int, end: int, width: int = 72,
+              pcpus: Optional[Sequence[int]] = None) -> str:
+        """ASCII Gantt of PCPU occupancy over [start, end)."""
+        if end <= start:
+            return "(empty window)"
+        ids = sorted(pcpus if pcpus is not None
+                     else {s.pcpu for s in self.segments})
+        # Stable one-char labels per vcpu name.
+        names = sorted({s.vcpu for s in self.segments})
+        glyphs = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+        label = {n: glyphs[i % len(glyphs)] for i, n in enumerate(names)}
+        span = end - start
+        lines = [f"gantt [{start} .. {end}) cycles; "
+                 + " ".join(f"{label[n]}={n}" for n in names)]
+        for pid in ids:
+            row = ["."] * width
+            for seg in self.pcpu_segments(pid):
+                if seg.end <= start or seg.start >= end:
+                    continue
+                lo = max(0, int((seg.start - start) / span * width))
+                hi = min(width, max(lo + 1,
+                                    int((seg.end - start) / span * width)))
+                for i in range(lo, hi):
+                    row[i] = label[seg.vcpu]
+            lines.append(f"P{pid} |" + "".join(row))
+        return "\n".join(lines)

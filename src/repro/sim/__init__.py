@@ -1,0 +1,13 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate everything else runs on: an integer-cycle
+event engine (:mod:`repro.sim.engine`), deterministic per-component random
+streams (:mod:`repro.sim.rng`), and a lightweight trace bus
+(:mod:`repro.sim.tracing`) that the metrics layer subscribes to.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import TraceBus, TraceRecord
+
+__all__ = ["Event", "Simulator", "RngStreams", "TraceBus", "TraceRecord"]

@@ -1,0 +1,232 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a monotonically advancing integer-cycle clock and a
+priority queue of pending :class:`Event` objects.  Components schedule
+callbacks with :meth:`Simulator.at` / :meth:`Simulator.after` and may cancel
+them via :meth:`Event.cancel` — cancellation is O(1) (lazy deletion; the
+heap entry is skipped when popped).
+
+Determinism
+-----------
+Two events at the same cycle fire in scheduling order (a monotonically
+increasing sequence number breaks ties), so a run is a pure function of the
+configuration and RNG seeds.  This property is relied on by the regression
+and property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.at` / :meth:`Simulator.after`
+    and should be treated as opaque handles: the only public operations are
+    :meth:`cancel` and reading :attr:`time` / :attr:`fired` / :attr:`cancelled`.
+    """
+
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None],
+                 label: str = "") -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired or already
+        cancelled event is a harmless no-op (components race to cancel)."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and may still fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event {self.label or self.callback!r} @ {self.time} ({state})>"
+
+
+class Simulator:
+    """Integer-cycle discrete-event simulator.
+
+    Parameters
+    ----------
+    start:
+        Initial clock value in cycles (default 0).
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._now: int = start
+        self._seq: int = 0
+        self._queue: list[Event] = []
+        self._running = False
+        self._stopped = False
+        #: Number of events executed so far (observability / perf tests).
+        self.events_executed: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Clock
+    # ------------------------------------------------------------------ #
+    @property
+    def now(self) -> int:
+        """Current simulation time in cycles."""
+        return self._now
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+    def at(self, time: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire at absolute cycle ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        Scheduling *at the current cycle* is allowed: the event fires after
+        all callbacks already queued for this cycle.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} (now={self._now})")
+        self._seq += 1
+        ev = Event(int(time), self._seq, callback, label)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after(self, delay: int, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + int(delay), callback, label)
+
+    def every(self, period: int, callback: Callable[[], None],
+              label: str = "", start_offset: int = 0) -> "PeriodicEvent":
+        """Schedule ``callback`` to fire every ``period`` cycles.
+
+        The first firing is at ``now + start_offset + period`` unless
+        ``start_offset`` places it earlier.  Returns a handle whose
+        :meth:`PeriodicEvent.cancel` stops the repetition.
+        """
+        if period <= 0:
+            raise SimulationError(f"non-positive period {period}")
+        return PeriodicEvent(self, period, callback, label, start_offset)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._queue:
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            ev.fired = True
+            self.events_executed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``max_events`` fire)."""
+        self._stopped = False
+        count = 0
+        while not self._stopped:
+            if max_events is not None and count >= max_events:
+                return
+            if not self.step():
+                return
+            count += 1
+
+    def run_until(self, time: int) -> None:
+        """Run all events with timestamp <= ``time``, then set now = time.
+
+        The clock always lands exactly on ``time`` so that back-to-back
+        ``run_until`` calls partition the timeline cleanly.
+        """
+        if time < self._now:
+            raise SimulationError(f"run_until({time}) is in the past (now={self._now})")
+        self._stopped = False
+        while not self._stopped and self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > time:
+                break
+            self.step()
+        if not self._stopped:
+            self._now = time
+
+    def run_until_true(self, predicate: Callable[[], bool],
+                       deadline: Optional[int] = None) -> bool:
+        """Run until ``predicate()`` becomes true after some event.
+
+        Returns True if the predicate was satisfied, False if the queue
+        drained or the ``deadline`` (absolute cycles) passed first.
+        """
+        if predicate():
+            return True
+        self._stopped = False
+        while not self._stopped:
+            if deadline is not None and self._queue:
+                head = self._queue[0]
+                if not head.cancelled and head.time > deadline:
+                    self._now = deadline
+                    return predicate()
+            if not self.step():
+                return predicate()
+            if predicate():
+                return True
+        return predicate()
+
+    def stop(self) -> None:
+        """Stop the current ``run*`` call after the in-flight event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+
+class PeriodicEvent:
+    """Handle for a repeating event created by :meth:`Simulator.every`."""
+
+    __slots__ = ("_sim", "period", "callback", "label", "_current", "_cancelled")
+
+    def __init__(self, sim: Simulator, period: int,
+                 callback: Callable[[], None], label: str,
+                 start_offset: int) -> None:
+        self._sim = sim
+        self.period = period
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+        first = sim.now + start_offset + period
+        self._current = sim.at(first, self._fire, label)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        # Re-arm before invoking the callback so the callback may cancel us.
+        self._current = self._sim.after(self.period, self._fire, self.label)
+        self.callback()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+        self._current.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled

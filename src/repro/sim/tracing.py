@@ -1,0 +1,92 @@
+"""Trace bus: the simulator's observability backbone.
+
+Components *emit* :class:`TraceRecord` objects onto a :class:`TraceBus`;
+metrics collectors *subscribe* by category.  Emission is cheap when nobody
+is listening (a dict lookup and a truth test), so instrumentation points can
+stay in hot paths unconditionally.
+
+Categories used across the library (each documents its payload fields):
+
+``spinlock.wait``     guest spinlock acquired after a measurable wait
+``spinlock.acquire``  every acquisition (only when verbose tracing enabled)
+``vcrd.change``       Monitoring Module flipped a VM's VCRD
+``sched.switch``      a PCPU switched VCPUs
+``sched.cosched``     an IPI coscheduling fan-out was launched
+``vcpu.state``        VCPU state transition
+``task.done``         a workload thread finished its program
+``workload.done``     a whole workload completed
+``credit.assign``     credit assignment event
+``sem.wait``          semaphore blocking wait completed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: a timestamp, category and free-form payload."""
+
+    time: int
+    category: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Pub/sub hub for trace records.
+
+    Subscription is per-category; a subscriber registered under ``"*"``
+    receives everything.  Records are also optionally retained in
+    :attr:`records` when :attr:`retain` categories match — retention is
+    opt-in because long experiments can emit millions of records.
+    """
+
+    def __init__(self) -> None:
+        self._subs: Dict[str, List[Subscriber]] = {}
+        self._retain: set[str] = set()
+        self.records: List[TraceRecord] = []
+
+    def subscribe(self, category: str, fn: Subscriber) -> None:
+        """Register ``fn`` for ``category`` (or ``"*"`` for all)."""
+        self._subs.setdefault(category, []).append(fn)
+
+    def unsubscribe(self, category: str, fn: Subscriber) -> None:
+        subs = self._subs.get(category)
+        if subs and fn in subs:
+            subs.remove(fn)
+
+    def retain(self, *categories: str) -> None:
+        """Keep emitted records of these categories in :attr:`records`."""
+        self._retain.update(categories)
+
+    def emit(self, time: int, category: str, **payload: Any) -> None:
+        """Publish a record.  No-op when nobody listens and nothing retained."""
+        subs = self._subs.get(category)
+        star = self._subs.get("*")
+        keep = category in self._retain or "*" in self._retain
+        if not subs and not star and not keep:
+            return
+        rec = TraceRecord(time, category, payload)
+        if keep:
+            self.records.append(rec)
+        if subs:
+            for fn in subs:
+                fn(rec)
+        if star:
+            for fn in star:
+                fn(rec)
+
+    def of(self, category: str) -> List[TraceRecord]:
+        """Retained records of one category, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,68 @@
+"""Time and frequency units for the simulated machine.
+
+Everything in the simulator is denominated in **integer CPU cycles** of the
+reference machine (a 2.33 GHz Xeon X5410, the CPU used in the paper's Dell
+Precision T5400 testbed).  Integer cycles keep the discrete-event engine
+exact and reproducible: there is no floating-point drift between runs, and
+two events can never be "almost simultaneous".
+
+The helpers below convert between wall-clock units and cycles.  Conversions
+*to* cycles round down to the nearest cycle; conversions *from* cycles return
+floats.
+"""
+
+from __future__ import annotations
+
+#: Clock frequency of the simulated PCPUs (Xeon X5410, 2.33 GHz).
+CPU_HZ: int = 2_330_000_000
+
+#: Cycles per microsecond / millisecond / second on the reference machine.
+CYCLES_PER_US: int = CPU_HZ // 1_000_000
+CYCLES_PER_MS: int = CPU_HZ // 1_000
+CYCLES_PER_S: int = CPU_HZ
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer cycles."""
+    return int(value * CYCLES_PER_MS)
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer cycles."""
+    return int(value * CYCLES_PER_US)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer cycles."""
+    return int(value * CYCLES_PER_S)
+
+
+def to_ms(cycles: int) -> float:
+    """Convert cycles to milliseconds."""
+    return cycles / CYCLES_PER_MS
+
+
+def to_seconds(cycles: int) -> float:
+    """Convert cycles to seconds."""
+    return cycles / CYCLES_PER_S
+
+
+def log2_cycles(cycles: int) -> float:
+    """Return log2 of a cycle count (the paper reports waits as 2^k cycles).
+
+    ``cycles`` must be positive; a wait of 0 cycles is reported as 0.0
+    rather than -inf so histograms stay finite.
+    """
+    if cycles <= 0:
+        return 0.0
+    return cycles.bit_length() - 1 + ((cycles / (1 << (cycles.bit_length() - 1))) - 1)
+
+
+#: The paper's over-threshold spinlock boundary: waits longer than
+#: 2**DELTA_EXP cycles trigger a VCRD adjusting event (Section 4.2, delta=20).
+DELTA_EXP: int = 20
+OVER_THRESHOLD_CYCLES: int = 1 << DELTA_EXP
+
+#: The paper's measurement floor: only spinlocks with waits above 2**10
+#: cycles are recorded by the Monitoring Module instrumentation (Section 2.2).
+MEASURE_FLOOR_CYCLES: int = 1 << 10

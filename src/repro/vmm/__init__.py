@@ -1,0 +1,25 @@
+"""The virtual machine monitor: VMs, VCPUs, hypercalls and schedulers.
+
+Three schedulers are provided, matching the paper's comparison:
+
+* :class:`repro.vmm.credit.CreditScheduler` — baseline, a model of Xen's
+  Credit scheduler (proportional share, work stealing, no coscheduling).
+* :class:`repro.vmm.coschedule.StaticCoscheduler` — "CON", the authors'
+  prior work: VMs marked concurrent are always coscheduled.
+* :class:`repro.vmm.adaptive.AdaptiveScheduler` — ASMan: coschedules a VM
+  exactly while its VCRD is HIGH (Algorithms 3 and 4).
+"""
+
+from repro.vmm.vm import VM, VCPU, VCPUState, VCRD
+from repro.vmm.scheduler_base import SchedulerBase
+from repro.vmm.credit import CreditScheduler
+from repro.vmm.coschedule import StaticCoscheduler
+from repro.vmm.adaptive import AdaptiveScheduler
+from repro.vmm.relaxed import RelaxedCoscheduler
+from repro.vmm.hypercall import HypercallTable
+
+__all__ = [
+    "VM", "VCPU", "VCPUState", "VCRD",
+    "SchedulerBase", "CreditScheduler", "StaticCoscheduler",
+    "AdaptiveScheduler", "RelaxedCoscheduler", "HypercallTable",
+]

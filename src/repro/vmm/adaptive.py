@@ -1,0 +1,257 @@
+"""ASMan's Adaptive Scheduler (paper Section 4, Algorithms 3 and 4).
+
+Modified from the Credit scheduler: credit accounting and work stealing are
+inherited unchanged, so proportional-share fairness between VMs is kept.
+On top of that:
+
+* When a VM's VCRD flips LOW→HIGH (reported by the guest's Monitoring
+  Module through the ``do_vcrd_op`` hypercall), its VCPUs are **relocated**
+  so that no two siblings share a PCPU run queue (Algorithm 3, lines 8–15)
+  — a precondition for running them simultaneously.
+* At a scheduling event that picks a VCPU of a VCRD-HIGH VM with credit
+  left, the PCPU sends **IPIs** to the PCPUs holding the sibling VCPUs;
+  each target temporarily raises its sibling's priority (the boost class)
+  and reschedules, so the whole VM comes online together (Algorithm 4).
+* A launch mutex guarantees only one PCPU fans out IPIs per scheduling
+  event, preventing interrupt storms when all siblings pick simultaneously.
+* Work stealing refuses to co-locate two VCPUs of a VCRD-HIGH VM
+  (Algorithm 4's side condition ``runq(Pk') ∩ C(V_I) = ∅``).
+
+When VCRD returns to LOW, boosts are dropped and the VM degrades gracefully
+to plain credit scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.hardware.machine import PCPU
+from repro.vmm.scheduler_base import SchedulerBase
+from repro.vmm.vm import VCPU, VM, VCPUState, VCRD
+
+
+class AdaptiveScheduler(SchedulerBase):
+    """ASMan: dynamic adaptive coscheduling driven by VCRD."""
+
+    name = "asman"
+
+    def __init__(self, *args, llc_aware: bool = False, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: LLC-aware placement (the paper's future work, Section 7:
+        #: "the properties of the underlying architecture such as LLC
+        #: ... will be considered"): when relocating a coscheduled VM,
+        #: prefer PCPUs sharing one socket so the gang shares a
+        #: last-level cache.
+        self.llc_aware = llc_aware
+        #: Launch mutex (Section 4.1): held while an IPI fan-out is in
+        #: flight so only one PCPU initiates coscheduling per event.
+        self._cosched_launching = False
+        #: vm id -> cycle of its last fan-out (slot-grained gang launches).
+        self._last_launch: dict = {}
+        #: Observability counters, reported by the ablation benches.
+        self.cosched_launches = 0
+        self.relocations = 0
+
+    # ------------------------------------------------------------------ #
+    # Which VMs does this scheduler coschedule?
+    # ------------------------------------------------------------------ #
+    def _wants_cosched(self, vm: VM) -> bool:
+        return vm.vcrd is VCRD.HIGH
+
+    # ------------------------------------------------------------------ #
+    # VCRD transitions
+    # ------------------------------------------------------------------ #
+    def on_vcrd_change(self, vm: VM) -> None:
+        if self._wants_cosched(vm):
+            self.relocate(vm)
+            # Apply the gang park/unpark rule immediately (don't wait for
+            # the next accounting): the whole point of the HIGH transition
+            # is to bring the VM online *now*, rescuing the preempted lock
+            # holder the Monitoring Module just detected.
+            if not self.config.work_conserving:
+                burst = self.config.credit_per_tick * self.config.assign_slots
+                self._repark(vm, burst)
+            # Nudge the PCPUs that now hold this VM's VCPUs so coscheduling
+            # can begin without waiting for the next tick.
+            for pid in self._pcpus_of(vm):
+                self.schedule(self.machine[pid])
+        else:
+            self._gang_until.pop(vm.id, None)
+            for vcpu in vm.vcpus:
+                vcpu.boosted = False
+
+    def post_assign(self) -> None:
+        # Algorithm 3 re-checks placement of coscheduled VMs at every
+        # credit assignment event.
+        for vm in self.vms:
+            if self._wants_cosched(vm):
+                self.relocate(vm)
+
+    def _credit_split(self, vm, vm_credit: float):
+        """Algorithm 3, line 6: "the Credit obtained by a VM is equally
+        distributed among its VCPUs" — over all |C(Vi)| of them.
+
+        Applied while the VM is coscheduled: a gang's members are all
+        online together, so equal split is the gang-consistent division
+        and stops barrier-sleepers forfeiting income mid-locality.  A
+        non-coscheduled VM keeps Xen's active-only split — otherwise a
+        guest running fewer threads than VCPUs (SPECjbb with few
+        warehouses) would strand most of its entitlement on idle VCPUs.
+        """
+        if self._wants_cosched(vm):
+            share = vm_credit / len(vm.vcpus)
+            return [(v, share) for v in vm.vcpus]
+        return super()._credit_split(vm, vm_credit)
+
+    def _repark(self, vm, burst: float) -> None:
+        """Gang cap enforcement for coscheduled VMs.
+
+        Coscheduling must not grant extra CPU time (the cap still binds),
+        but it must make the VM's VCPUs online *simultaneously*.  Under a
+        cap that means the park/unpark decision is taken for the whole
+        VM: all VCPUs park and unpark together, gated on the VM's *mean*
+        banked credit.  The unpark threshold is zero (not a full period's
+        burn as in the per-VCPU rule): credit conservation still enforces
+        the long-run cap exactly — running on a small positive balance
+        just shifts the same park/run cycle earlier, which is what lets a
+        coscheduling response reach a preempted lock holder quickly.
+        """
+        if not self._wants_cosched(vm):
+            super()._repark(vm, burst)
+            return
+        mean_credit = sum(v.credit for v in vm.vcpus) / len(vm.vcpus)
+        parked = mean_credit < 0
+        for vcpu in vm.vcpus:
+            vcpu.parked = parked
+
+    # ------------------------------------------------------------------ #
+    # Relocation (Algorithm 3, lines 8-15)
+    # ------------------------------------------------------------------ #
+    def relocate(self, vm: VM) -> None:
+        """Spread the VM's RUNNABLE VCPUs so each PCPU holds at most one
+        of them (RUNNING VCPUs already occupy distinct PCPUs)."""
+        occupied: Set[int] = set()
+        for vcpu in vm.vcpus:
+            if vcpu.state is VCPUState.RUNNING and vcpu.pcpu is not None:
+                occupied.add(vcpu.pcpu.id)
+        # First pass: claim non-conflicting current homes.
+        pending: List[VCPU] = []
+        for vcpu in vm.vcpus:
+            if vcpu.state is not VCPUState.RUNNABLE:
+                continue
+            if vcpu.home_pcpu_id in occupied:
+                pending.append(vcpu)
+            else:
+                occupied.add(vcpu.home_pcpu_id)
+        # Second pass: move conflicting VCPUs to free PCPUs, preferring
+        # idle ones so coscheduling can start immediately.
+        for vcpu in pending:
+            dest = self._free_pcpu_for(vm, occupied)
+            if dest is None:
+                break  # |C(Vi)| <= |P| makes this unreachable, but be safe
+            self._move_to_runq(vcpu, dest.id)
+            vcpu.migrations += 1
+            self.relocations += 1
+            occupied.add(dest.id)
+
+    def _free_pcpu_for(self, vm: VM, occupied: Set[int]) -> Optional[PCPU]:
+        candidates = [p for p in self.machine if p.id not in occupied]
+        if not candidates:
+            return None
+        if self.llc_aware and occupied:
+            # Prefer the socket where most of the gang already sits.
+            topo = self.machine.topology
+            counts: dict = {}
+            for pid in occupied:
+                s = topo.socket_of(pid)
+                counts[s] = counts.get(s, 0) + 1
+            target_socket = max(counts, key=lambda s: counts[s])
+            same = [p for p in candidates if p.socket == target_socket]
+            if same:
+                candidates = same
+        for p in candidates:
+            if p.is_idle:
+                return p
+        return candidates[0]
+
+    def _pcpus_of(self, vm: VM) -> List[int]:
+        pids: List[int] = []
+        for vcpu in vm.vcpus:
+            if vcpu.state is VCPUState.RUNNING and vcpu.pcpu is not None:
+                pids.append(vcpu.pcpu.id)
+            elif vcpu.state is VCPUState.RUNNABLE:
+                pids.append(vcpu.home_pcpu_id)
+        return sorted(set(pids))
+
+    # ------------------------------------------------------------------ #
+    # Migration filter (Algorithm 4 side condition)
+    # ------------------------------------------------------------------ #
+    def may_migrate(self, vcpu: VCPU, dest: PCPU) -> bool:
+        if not self._wants_cosched(vcpu.vm):
+            return True
+        for sibling in vcpu.vm.vcpus:
+            if sibling is vcpu:
+                continue
+            if sibling.state is VCPUState.RUNNING and sibling.pcpu is dest:
+                return False
+            if sibling.state is VCPUState.RUNNABLE and \
+                    sibling.home_pcpu_id == dest.id:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Coscheduling fan-out (Algorithm 4)
+    # ------------------------------------------------------------------ #
+    def post_pick(self, pcpu: PCPU, vcpu: VCPU) -> None:
+        vm = vcpu.vm
+        if not self._wants_cosched(vm):
+            return
+        if vcpu.credit < 0:
+            return  # Algorithm 4 only coschedules from the credit>=0 branch
+        if self._cosched_launching:
+            return  # another PCPU holds the launch mutex
+        last = self._last_launch.get(vm.id)
+        if last is not None and \
+                self.sim.now - last < self.config.cosched_cooldown_cycles:
+            return  # this VM's gang was launched within the current slot
+        targets: List[int] = []
+        for sibling in vm.vcpus:
+            if sibling is vcpu:
+                continue
+            if sibling.state is VCPUState.RUNNING:
+                continue  # already online
+            if sibling.state is VCPUState.BLOCKED:
+                continue  # idle in the guest; nothing to bring online
+            if not self.eligible(sibling):
+                continue  # NWC cap: coscheduling must not grant extra time
+            occupant = self.machine[sibling.home_pcpu_id].current
+            if occupant is not None and occupant.vm is vm:
+                # Boosting here would evict a sibling — the gang must not
+                # preempt itself; relocation fixes the placement at the
+                # next assignment event.
+                continue
+            sibling.boosted = True
+            targets.append(sibling.home_pcpu_id)
+        if not targets:
+            return
+        self._cosched_launching = True
+        self._last_launch[vm.id] = self.sim.now
+        # Open the gang window: all members run in the top priority class
+        # for one coscheduling slot, so the gang stays online *together*.
+        self._gang_until[vm.id] = \
+            self.sim.now + self.config.cosched_cooldown_cycles
+        self.cosched_launches += 1
+        self.trace.emit(self.sim.now, "sched.cosched",
+                        vm=vm.name, initiator=pcpu.id, targets=targets)
+        self.ipi.broadcast(pcpu.id, sorted(set(targets)), payload=vm)
+        # Release the launch mutex once the IPIs have been delivered.
+        self.sim.after(self.ipi.latency + 1, self._release_mutex,
+                       label="cosched-mutex-release")
+
+    def _release_mutex(self) -> None:
+        self._cosched_launching = False
+
+    def _on_ipi(self, target: int, source: int, payload) -> None:
+        # A coscheduling IPI: the boosted sibling now outranks whatever is
+        # running here, so a plain scheduling event brings it online.
+        self.schedule(self.machine[target])

@@ -1,0 +1,30 @@
+"""The Credit scheduler — the paper's baseline.
+
+This models Xen 3.3's default scheduler as the paper describes it
+(Section 3.3): proportional-share credits recalculated every 30 ms, 10 ms
+accounting ticks, automatic work stealing so "no PCPU is idle when there
+exists a runnable VCPU in the system", and **no coscheduling whatsoever** —
+VCPUs of one VM are scheduled fully asynchronously, which is precisely what
+breaks guest spinlocks.
+
+All of the mechanics live in :class:`~repro.vmm.scheduler_base.SchedulerBase`;
+this subclass exists so the baseline is an explicit, named policy object and
+so VCRD changes are deliberately ignored (a Monitoring Module running in a
+guest on plain Xen would hypercall into the void).
+"""
+
+from __future__ import annotations
+
+from repro.vmm.scheduler_base import SchedulerBase
+from repro.vmm.vm import VM
+
+
+class CreditScheduler(SchedulerBase):
+    """Xen's Credit scheduler: proportional share, no coscheduling."""
+
+    name = "credit"
+
+    def on_vcrd_change(self, vm: VM) -> None:
+        # Plain Xen has no notion of VCRD: the hypercall is accepted (the
+        # guest cannot tell) but changes nothing in scheduling.
+        pass

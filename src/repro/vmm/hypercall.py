@@ -1,0 +1,56 @@
+"""The hypercall interface between guests and the VMM.
+
+The paper adds one hypercall to Xen: ``do_vcrd_op``, through which the
+Monitoring Module reports VCRD changes (Section 3.3).  We model a small
+hypercall table so the call site in the guest looks like the real thing
+(trap into the VMM, dispatch by number) and so tests can count invocations
+and inject faults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.vm import VM, VCRD
+
+#: Hypercall numbers.  Xen's __HYPERVISOR_* table stops in the 40s; the
+#: paper's addition gets the next free slot by convention.
+HYPERCALL_VCRD_OP = 48
+
+
+class HypercallTable:
+    """Dispatch table for guest→VMM software traps."""
+
+    def __init__(self, sim: Simulator, trace: TraceBus) -> None:
+        self.sim = sim
+        self.trace = trace
+        self._table: Dict[int, Callable[..., int]] = {}
+        self.invocations: Dict[int, int] = {}
+        self.register(HYPERCALL_VCRD_OP, self._do_vcrd_op)
+
+    def register(self, number: int, handler: Callable[..., int]) -> None:
+        self._table[number] = handler
+        self.invocations.setdefault(number, 0)
+
+    def call(self, number: int, *args) -> int:
+        """Trap into the VMM.  Returns the handler's status (0 = success)."""
+        handler = self._table.get(number)
+        if handler is None:
+            raise ConfigurationError(f"unknown hypercall {number}")
+        self.invocations[number] += 1
+        return handler(*args)
+
+    # ------------------------------------------------------------------ #
+    def _do_vcrd_op(self, vm: VM, value: VCRD) -> int:
+        """``do_vcrd_op``: update the VCRD of ``vm`` (paper Section 3.3)."""
+        if not isinstance(value, VCRD):
+            raise ConfigurationError(f"bad VCRD value {value!r}")
+        vm.set_vcrd(value)
+        return 0
+
+    def do_vcrd_op(self, vm: VM, value: VCRD) -> int:
+        """Convenience wrapper used by the Monitoring Module."""
+        return self.call(HYPERCALL_VCRD_OP, vm, value)

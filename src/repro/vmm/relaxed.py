@@ -1,0 +1,108 @@
+"""Relaxed coscheduling — the VMware ESX comparator from related work.
+
+The paper's Section 6 describes VMware's approach: "VMkernel always
+coschedules VCPUs of a multi-VCPU VM, although it adopts a relaxed
+coscheduling to allow VCPUs to be scheduled on a slightly skewed basis.
+However, it still implements static coscheduling."
+
+The mechanism (per VMware's CPU scheduler whitepaper [13]): track each
+VCPU's cumulative progress (online time); when the *skew* between the
+most- and least-progressed VCPU of a VM exceeds a bound, stop the
+leaders until the laggards catch up.  Unlike strict gang scheduling it
+never demands simultaneous placement — it only prevents divergence.
+
+This scheduler is not part of ASMan; it is provided as the fourth policy
+so the relaxed/strict/adaptive design space the paper situates itself in
+can be explored (see ``benchmarks/test_ablation_schedulers.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro import units
+from repro.hardware.machine import PCPU
+from repro.vmm.scheduler_base import SchedulerBase
+from repro.vmm.vm import VCPU, VM, VCPUState
+
+#: Default skew bound: VMware's relaxed coscheduling historically stopped
+#: leaders at a few milliseconds of accumulated skew.
+DEFAULT_SKEW_BOUND = units.ms(3)
+
+
+class RelaxedCoscheduler(SchedulerBase):
+    """Skew-bounded coscheduling for VMs marked concurrent."""
+
+    name = "relaxed"
+
+    def __init__(self, *args, skew_bound: int = DEFAULT_SKEW_BOUND,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.skew_bound = int(skew_bound)
+        #: Observability: how many placements were vetoed by skew.
+        self.skew_stops = 0
+
+    # ------------------------------------------------------------------ #
+    def _applies(self, vm: VM) -> bool:
+        return vm.concurrent_hint and len(vm.vcpus) > 1
+
+    @staticmethod
+    def _progress(vcpu: VCPU) -> int:
+        online = vcpu.online_cycles
+        if vcpu._online_since is not None:
+            online += vcpu._sim.now - vcpu._online_since
+        return online
+
+    def _skew_of(self, vcpu: VCPU) -> int:
+        """How far ahead this VCPU is of its VM's least-progressed sibling.
+
+        Only *runnable or running* siblings count as laggards: a VCPU the
+        guest idled (blocked) is not behind, it simply has nothing to do —
+        stopping leaders for it would deadlock sleep-heavy guests.
+        """
+        mine = self._progress(vcpu)
+        laggard: Optional[int] = None
+        for sibling in vcpu.vm.vcpus:
+            if sibling is vcpu:
+                continue
+            if sibling.state is VCPUState.BLOCKED:
+                continue
+            p = self._progress(sibling)
+            if laggard is None or p < laggard:
+                laggard = p
+        if laggard is None:
+            return 0
+        return mine - laggard
+
+    # ------------------------------------------------------------------ #
+    # Policy: a leader beyond the skew bound is ineligible (it "stops")
+    # until the laggards run; laggards get a priority lift so idle PCPUs
+    # pull them in quickly.
+    # ------------------------------------------------------------------ #
+    def eligible(self, vcpu: VCPU) -> bool:
+        if not super().eligible(vcpu):
+            return False
+        if self._applies(vcpu.vm) and self._skew_of(vcpu) > self.skew_bound:
+            self.skew_stops += 1
+            return False
+        return True
+
+    def eligible_running(self, vcpu: VCPU) -> bool:
+        if not super().eligible_running(vcpu):
+            return False
+        if self._applies(vcpu.vm) and self._skew_of(vcpu) > self.skew_bound:
+            return False
+        return True
+
+    def _key(self, vcpu: VCPU):
+        cls, credit_key = super()._key(vcpu)
+        if self._applies(vcpu.vm) and cls >= 2:
+            # A laggard (negative skew beyond the bound) outranks its
+            # priority class so it catches up promptly.
+            if self._skew_of(vcpu) < -self.skew_bound:
+                cls = 1
+        return (cls, credit_key)
+
+    def on_vcrd_change(self, vm: VM) -> None:
+        # Static policy: the Monitoring Module's reports are ignored.
+        pass

@@ -1,0 +1,25 @@
+"""Workload models.
+
+Synthetic equivalents of the paper's benchmarks (see DESIGN.md's
+substitution table): the seven NAS Parallel Benchmarks used as concurrent
+workloads, SPECjbb2005 as the throughput/scalability workload, and SPEC
+CPU2000-rate copies as the non-concurrent control.  All are expressed as
+op-stream programs over the guest kernel's synchronisation primitives, so
+their interaction with the VMM scheduler is emergent rather than scripted.
+"""
+
+from repro.workloads.base import Workload, jittered
+from repro.workloads.nas import NAS_PROFILES, NasBenchmark, NasProfile
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.speccpu import SpecCpuRateWorkload, SPEC_CPU_PROFILES
+from repro.workloads.synthetic import SyntheticWorkload, PhaseSpec
+from repro.workloads.trace import TraceWorkload, load_trace, load_trace_file
+
+__all__ = [
+    "Workload", "jittered",
+    "NAS_PROFILES", "NasBenchmark", "NasProfile",
+    "SpecJbbWorkload",
+    "SpecCpuRateWorkload", "SPEC_CPU_PROFILES",
+    "SyntheticWorkload", "PhaseSpec",
+    "TraceWorkload", "load_trace", "load_trace_file",
+]

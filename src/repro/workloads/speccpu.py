@@ -1,0 +1,99 @@
+"""SPEC CPU2000-rate models: independent compute copies.
+
+The paper uses 176.gcc and 256.bzip2 under the SPEC *rate* metric — four
+simultaneous copies per VM, no synchronisation between them — as the
+high-throughput, non-concurrent control (Sections 5.1, 5.3).  Because the
+copies never synchronise, virtualization costs them nothing beyond their
+fair share; what the experiments measure is how much *coscheduling of
+neighbour VMs* steals from them (Figures 11–12: CON loses up to 18%,
+ASMan at most 8%).
+
+Each copy is pure jittered compute split into segments (a segment is a
+natural preemption grain).  The profiles differ only in total work, taken
+from the benchmarks' relative SPEC2000 run times, scaled to ~1.2 s base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import Compute, Op
+from repro.workloads.base import Workload, jittered
+
+
+@dataclass(frozen=True)
+class SpecCpuProfile:
+    name: str
+    total_compute: int          # cycles per copy
+    segment_cycles: int = units.ms(5)
+    jitter_cv: float = 0.10
+    copies: int = 4             # the SPEC rate metric runs 4 copies
+
+    def __post_init__(self) -> None:
+        if self.total_compute <= 0 or self.segment_cycles <= 0:
+            raise WorkloadError(f"{self.name}: bad compute profile")
+        if self.copies < 1:
+            raise WorkloadError(f"{self.name}: need >= 1 copy")
+
+
+SPEC_CPU_PROFILES: Dict[str, SpecCpuProfile] = {
+    # 176.gcc: shorter, burstier compile workload.
+    "176.gcc": SpecCpuProfile("176.gcc", total_compute=units.seconds(1.1),
+                              jitter_cv=0.20),
+    # 256.bzip2: longer, steadier compression kernel.
+    "256.bzip2": SpecCpuProfile("256.bzip2", total_compute=units.seconds(1.3),
+                                jitter_cv=0.08),
+}
+
+
+class SpecCpuRateWorkload(Workload):
+    """N independent copies of one SPEC CPU2000 benchmark."""
+
+    def __init__(self, profile: SpecCpuProfile, rounds: int = 1) -> None:
+        super().__init__(rounds=rounds)
+        self.profile = profile
+        self.name = f"speccpu.{profile.name}"
+        self._expected_threads = profile.copies
+
+    @classmethod
+    def by_name(cls, name: str, scale: float = 1.0,
+                rounds: int = 1) -> "SpecCpuRateWorkload":
+        prof = SPEC_CPU_PROFILES.get(name)
+        if prof is None:
+            raise WorkloadError(f"unknown SPEC CPU benchmark {name!r}")
+        if scale != 1.0:
+            prof = SpecCpuProfile(prof.name,
+                                  max(1, int(prof.total_compute * scale)),
+                                  prof.segment_cycles, prof.jitter_cv,
+                                  prof.copies)
+        return cls(prof, rounds=rounds)
+
+    def install(self, kernel: GuestKernel, rng: np.random.Generator) -> None:
+        self._mark_installed(kernel)
+        p = self.profile
+        for c in range(p.copies):
+            crng = np.random.default_rng(rng.integers(0, 2**63))
+            kernel.spawn(f"{self.name}.c{c}", self._program(c, crng))
+
+    def _program(self, copy: int, rng: np.random.Generator) -> Iterator[Op]:
+        p = self.profile
+        for _round in range(self.rounds):
+            remaining = p.total_compute
+            while remaining > 0:
+                seg = min(remaining,
+                          jittered(rng, p.segment_cycles, p.jitter_cv))
+                yield Compute(seg)
+                remaining -= seg
+            self._note_round(copy)
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(benchmark=self.profile.name, copies=self.profile.copies,
+                 total_compute=self.profile.total_compute)
+        return d

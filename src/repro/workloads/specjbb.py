@@ -1,0 +1,86 @@
+"""A SPECjbb2005 model: warehouse threads driving Java transactions.
+
+SPECjbb2005 emulates a 3-tier business system entirely inside one JVM
+(paper Section 5.1): W warehouse threads each run a transaction mix with
+no I/O.  What matters to the VMM scheduler is:
+
+* warehouses are *mostly independent* — throughput scales with warehouses
+  until the VCPU count is reached, then flattens (Figure 10 a–c);
+* the JVM serialises allocation/GC safepoints through shared locks, so a
+  small fraction of each transaction touches a global "jvm" spinlock —
+  under low online rates that lock suffers holder preemption and Credit
+  loses throughput that ASMan recovers (up to ~26%, Figure 10).
+
+Warehouse programs are infinite; the experiment runner simulates a fixed
+measurement window and reads :meth:`SpecJbbWorkload.bops`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import Compute, Critical, Op
+from repro.workloads.base import Workload, jittered
+
+
+class SpecJbbWorkload(Workload):
+    """W warehouses of synthetic Java transactions."""
+
+    def __init__(self, warehouses: int,
+                 txn_cycles: int = units.us(500),
+                 jvm_lock_period: int = 8,
+                 jvm_lock_hold: int = units.us(4),
+                 jitter_cv: float = 0.3) -> None:
+        super().__init__()
+        if warehouses < 1:
+            raise WorkloadError("need at least one warehouse")
+        if jvm_lock_period < 1:
+            raise WorkloadError("jvm_lock_period must be >= 1")
+        self.name = f"specjbb.w{warehouses}"
+        self.warehouses = warehouses
+        self.txn_cycles = txn_cycles
+        self.jvm_lock_period = jvm_lock_period
+        self.jvm_lock_hold = jvm_lock_hold
+        self.jitter_cv = jitter_cv
+        #: Completed transactions per warehouse (live counters).
+        self.transactions: List[int] = [0] * warehouses
+
+    # ------------------------------------------------------------------ #
+    def install(self, kernel: GuestKernel, rng: np.random.Generator) -> None:
+        self._mark_installed(kernel)
+        kernel.lock(f"{self.name}.jvm")
+        for w in range(self.warehouses):
+            wrng = np.random.default_rng(rng.integers(0, 2**63))
+            # Warehouses are spread round-robin over VCPUs by spawn().
+            kernel.spawn(f"{self.name}.wh{w}", self._program(w, wrng))
+
+    def _program(self, w: int, rng: np.random.Generator) -> Iterator[Op]:
+        n = 0
+        while True:  # runs until the measurement window closes
+            yield Compute(jittered(rng, self.txn_cycles, self.jitter_cv))
+            n += 1
+            self.transactions[w] = n
+            if n % self.jvm_lock_period == 0:
+                # Allocation slow path / safepoint: global JVM lock.
+                yield Critical(f"{self.name}.jvm", self.jvm_lock_hold)
+
+    # ------------------------------------------------------------------ #
+    def total_transactions(self) -> int:
+        return sum(self.transactions)
+
+    def bops(self, window_cycles: int) -> float:
+        """Business operations per second over the measurement window."""
+        if window_cycles <= 0:
+            raise WorkloadError("window must be positive")
+        return self.total_transactions() / units.to_seconds(window_cycles)
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(warehouses=self.warehouses,
+                 txn_cycles=self.txn_cycles)
+        return d

@@ -1,0 +1,96 @@
+"""Fully parameterisable synthetic workloads.
+
+Used by the test suite (small deterministic instances), the ablation
+benches (isolating one mechanism at a time), and as a template for users
+modelling their own applications.  A workload is a list of
+:class:`PhaseSpec` entries executed in order by every thread; each phase
+repeats a [compute, sync] pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import BarrierOp, Compute, Critical, Op, SemDown, SemUp
+from repro.workloads.base import Workload, jittered
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase: ``repeats`` x [Compute(compute), <sync op>].
+
+    ``sync`` is one of: ``None`` (pure compute), ``"barrier"``,
+    ``"critical"`` (against the shared lock pool), ``"sem_pingpong"``
+    (even threads V, odd threads P on a shared semaphore — the blocking
+    primitive the paper shows virtualization does not hurt).
+    """
+
+    compute: int
+    repeats: int = 1
+    sync: Optional[str] = None
+    critical_hold: int = 8_000
+    jitter_cv: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute < 0 or self.repeats < 1:
+            raise WorkloadError("bad phase spec")
+        if self.sync not in (None, "barrier", "critical", "sem_pingpong"):
+            raise WorkloadError(f"unknown sync kind {self.sync!r}")
+
+
+class SyntheticWorkload(Workload):
+    """Threads all running the same phase list."""
+
+    def __init__(self, name: str, threads: int,
+                 phases: List[PhaseSpec],
+                 locks: int = 2) -> None:
+        super().__init__()
+        if threads < 1:
+            raise WorkloadError("need >= 1 thread")
+        if not phases:
+            raise WorkloadError("need at least one phase")
+        if locks < 1:
+            raise WorkloadError("need >= 1 lock")
+        self.name = name
+        self.threads = threads
+        self.phases = list(phases)
+        self.nlocks = locks
+
+    def install(self, kernel: GuestKernel, rng: np.random.Generator) -> None:
+        self._mark_installed(kernel)
+        if any(p.sync == "barrier" for p in self.phases):
+            kernel.barrier(f"{self.name}.bar", self.threads)
+        if any(p.sync == "sem_pingpong" for p in self.phases):
+            kernel.semaphore(f"{self.name}.sem", 0)
+        for i in range(self.nlocks):
+            kernel.lock(f"{self.name}.lk{i}")
+        for t in range(self.threads):
+            trng = np.random.default_rng(rng.integers(0, 2**63))
+            vcpu = t % len(kernel.vm.vcpus)
+            kernel.spawn(f"{self.name}.t{t}",
+                         self._program(t, trng), vcpu_index=vcpu)
+
+    def _program(self, t: int, rng: np.random.Generator) -> Iterator[Op]:
+        for pi, phase in enumerate(self.phases):
+            for r in range(phase.repeats):
+                yield Compute(jittered(rng, phase.compute, phase.jitter_cv))
+                if phase.sync == "barrier":
+                    yield BarrierOp(f"{self.name}.bar")
+                elif phase.sync == "critical":
+                    lock = f"{self.name}.lk{(t + r) % self.nlocks}"
+                    yield Critical(lock, phase.critical_hold)
+                elif phase.sync == "sem_pingpong":
+                    if t % 2 == 0:
+                        yield SemUp(f"{self.name}.sem")
+                    else:
+                        yield SemDown(f"{self.name}.sem")
+
+    def describe(self) -> Dict[str, object]:
+        d = super().describe()
+        d.update(threads=self.threads, phases=len(self.phases))
+        return d

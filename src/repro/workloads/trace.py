@@ -1,0 +1,173 @@
+"""Trace-driven workloads: replay an application description from JSON.
+
+Users who want to model *their* application without writing Python can
+describe each thread as a list of op records and load it with
+:func:`load_trace` / :class:`TraceWorkload`.  The format also serves as
+an interchange target: :func:`dump_trace` serialises any op list, so
+recorded or generated programs can be stored alongside experiment
+configurations.
+
+Format (JSON)::
+
+    {
+      "name": "myapp",
+      "threads": [
+        {"vcpu": 0, "ops": [
+            {"op": "compute", "cycles": 1000000},
+            {"op": "critical", "lock": "L", "hold": 8000},
+            {"op": "barrier", "barrier": "B"},
+            {"op": "flag_set", "flag": "F", "value": 1},
+            {"op": "flag_wait", "flag": "F", "value": 1},
+            {"op": "sem_down", "sem": "S"},
+            {"op": "sem_up", "sem": "S"},
+            {"op": "sleep", "cycles": 50000}
+        ]},
+        ...
+      ],
+      "barriers": {"B": 2},
+      "repeat": 3
+    }
+
+``barriers`` declares party counts; ``repeat`` loops every thread's op
+list.  Unknown op kinds or missing fields raise
+:class:`~repro.errors.WorkloadError` at load time, not at run time.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import (BarrierOp, Compute, Critical, FlagSet, FlagWait,
+                             Op, SemDown, SemUp, Sleep)
+from repro.workloads.base import Workload
+
+_DECODERS = {
+    "compute": lambda r: Compute(int(r["cycles"])),
+    "critical": lambda r: Critical(str(r["lock"]), int(r["hold"])),
+    "barrier": lambda r: BarrierOp(str(r["barrier"])),
+    "flag_set": lambda r: FlagSet(str(r["flag"]), int(r["value"])),
+    "flag_wait": lambda r: FlagWait(str(r["flag"]), int(r["value"])),
+    "sem_down": lambda r: SemDown(str(r["sem"])),
+    "sem_up": lambda r: SemUp(str(r["sem"])),
+    "sleep": lambda r: Sleep(int(r["cycles"])),
+}
+
+_ENCODERS = {
+    Compute: lambda op: {"op": "compute", "cycles": op.cycles},
+    Critical: lambda op: {"op": "critical", "lock": op.lock,
+                          "hold": op.hold},
+    BarrierOp: lambda op: {"op": "barrier", "barrier": op.barrier},
+    FlagSet: lambda op: {"op": "flag_set", "flag": op.flag,
+                         "value": op.value},
+    FlagWait: lambda op: {"op": "flag_wait", "flag": op.flag,
+                          "value": op.value},
+    SemDown: lambda op: {"op": "sem_down", "sem": op.sem},
+    SemUp: lambda op: {"op": "sem_up", "sem": op.sem},
+    Sleep: lambda op: {"op": "sleep", "cycles": op.cycles},
+}
+
+
+def decode_op(record: Dict) -> Op:
+    """One JSON record -> one guest op (validated)."""
+    kind = record.get("op")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise WorkloadError(
+            f"unknown op kind {kind!r}; known: {sorted(_DECODERS)}")
+    try:
+        return decoder(record)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WorkloadError(f"bad {kind} record {record!r}: {exc}") from exc
+
+
+def encode_op(op: Op) -> Dict:
+    """One guest op -> its JSON record (inverse of decode_op)."""
+    encoder = _ENCODERS.get(type(op))
+    if encoder is None:
+        raise WorkloadError(f"cannot encode op {op!r}")
+    return encoder(op)
+
+
+def dump_trace(name: str, threads: Sequence[Sequence[Op]],
+               barriers: Dict[str, int] | None = None,
+               repeat: int = 1, indent: int = 2) -> str:
+    """Serialise thread op-lists to the JSON trace format."""
+    payload = {
+        "name": name,
+        "threads": [{"vcpu": i, "ops": [encode_op(op) for op in ops]}
+                    for i, ops in enumerate(threads)],
+        "barriers": dict(barriers or {}),
+        "repeat": repeat,
+    }
+    return json.dumps(payload, indent=indent)
+
+
+class TraceWorkload(Workload):
+    """A workload materialised from a parsed trace document."""
+
+    def __init__(self, doc: Dict) -> None:
+        repeat = int(doc.get("repeat", 1))
+        super().__init__(rounds=repeat)
+        name = doc.get("name")
+        if not name:
+            raise WorkloadError("trace needs a 'name'")
+        self.name = f"trace.{name}"
+        threads = doc.get("threads")
+        if not threads:
+            raise WorkloadError("trace needs at least one thread")
+        self._threads: List[Dict] = []
+        for i, t in enumerate(threads):
+            ops = [decode_op(r) for r in t.get("ops", [])]
+            if not ops:
+                raise WorkloadError(f"thread {i} has no ops")
+            self._threads.append({"vcpu": t.get("vcpu"), "ops": ops})
+        self._barriers = {str(k): int(v)
+                          for k, v in (doc.get("barriers") or {}).items()}
+        self._expected_threads = len(self._threads)
+
+    # ------------------------------------------------------------------ #
+    def install(self, kernel: GuestKernel, rng: np.random.Generator) -> None:
+        self._mark_installed(kernel)
+        for bname, parties in self._barriers.items():
+            kernel.barrier(bname, parties)
+        # Validate barrier references before spawning anything.
+        for t in self._threads:
+            for op in t["ops"]:
+                if isinstance(op, BarrierOp) and \
+                        op.barrier not in self._barriers:
+                    raise WorkloadError(
+                        f"barrier {op.barrier!r} used but not declared")
+        for i, t in enumerate(self._threads):
+            kernel.spawn(f"{self.name}.t{i}", self._program(i, t["ops"]),
+                         vcpu_index=t["vcpu"])
+
+    def _program(self, thread: int, ops: List[Op]) -> Iterator[Op]:
+        for _ in range(self.rounds):
+            yield from ops
+            self._note_round(thread)
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._threads)
+
+
+def load_trace(text: str) -> TraceWorkload:
+    """Parse a JSON trace document into an installable workload."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WorkloadError(f"invalid trace JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise WorkloadError("trace root must be an object")
+    return TraceWorkload(doc)
+
+
+def load_trace_file(path) -> TraceWorkload:
+    """Read and parse a JSON trace file."""
+    import pathlib
+    return load_trace(pathlib.Path(path).read_text())

@@ -1,0 +1,116 @@
+"""Out-of-VM VCRD inference (the paper's future-work extension)."""
+
+import pytest
+
+from repro import units
+from repro.asman.inference import ExternalVcrdMonitor, InferenceConfig
+from repro.config import SchedulerConfig
+from repro.errors import ConfigurationError
+from repro.experiments.setup import weight_for_rate
+from repro.experiments.setup import Testbed as SimTestbed
+from repro.vmm.vm import VCRD
+from repro.workloads.nas import NasBenchmark
+from repro.workloads.speccpu import SpecCpuRateWorkload
+
+
+class TestInferenceConfig:
+    def test_defaults_valid(self):
+        cfg = InferenceConfig()
+        assert cfg.window_cycles == units.ms(30)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(window_cycles=0)
+
+    def test_rejects_bad_quorum(self):
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(churn_quorum=0.0)
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(churn_quorum=1.5)
+
+    def test_rejects_bad_hold(self):
+        with pytest.raises(ConfigurationError):
+            InferenceConfig(hold_windows=0)
+
+
+def _testbed(workload, monitored, rate=2 / 9, seed=1):
+    tb = SimTestbed(scheduler="asman", seed=seed,
+                    sched_config=SchedulerConfig(work_conserving=False))
+    tb.add_domain0()
+    tb.add_vm("V1", weight=weight_for_rate(rate), workload=workload,
+              monitored=monitored)
+    return tb
+
+
+class TestExternalMonitor:
+    def test_detects_synchronising_guest(self):
+        tb = _testbed(NasBenchmark.by_name("LU", scale=0.5), "external")
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(180))
+        ext = tb.external_monitors["V1"]
+        assert ext.windows_sampled > 10
+        assert ext.raises > 0
+
+    def test_no_false_positive_on_throughput_guest(self):
+        tb = _testbed(SpecCpuRateWorkload.by_name("256.bzip2", scale=0.5),
+                      "external")
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(180))
+        ext = tb.external_monitors["V1"]
+        assert ext.raises == 0
+        assert tb.vms["V1"].vcrd is VCRD.LOW
+
+    def test_no_false_positive_at_full_rate(self):
+        tb = _testbed(NasBenchmark.by_name("LU", scale=0.3), "external",
+                      rate=1.0)
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(60))
+        ext = tb.external_monitors["V1"]
+        # Aligned guest at 100%: barriers complete within the spin budget,
+        # little VMM-visible churn+skew together.
+        assert ext.raises <= 1
+
+    def test_hysteresis_drops_after_quiet(self):
+        tb = _testbed(NasBenchmark.by_name("LU", scale=0.5), "external")
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(180))
+        ext = tb.external_monitors["V1"]
+        if ext.raises:
+            # Every raise eventually dropped (the workload finished, so
+            # the monitor saw quiet windows at the end).
+            tb.run_for(units.ms(200))
+            assert tb.vms["V1"].vcrd is VCRD.LOW
+
+    def test_helps_runtime_at_low_rate(self):
+        unmonitored = _testbed(NasBenchmark.by_name("LU", scale=0.5), False)
+        unmonitored.run_until_workloads_done(
+            ["V1"], deadline_cycles=units.seconds(180))
+        rt_plain = unmonitored.guests["V1"].finished_at
+
+        external = _testbed(NasBenchmark.by_name("LU", scale=0.5),
+                            "external")
+        external.run_until_workloads_done(
+            ["V1"], deadline_cycles=units.seconds(180))
+        rt_ext = external.guests["V1"].finished_at
+        assert rt_ext <= rt_plain * 1.03
+
+    def test_stop_cancels_sampling(self, sim, trace):
+        from repro.config import VMConfig
+        from repro.vmm.vm import VM
+        from repro.vmm.credit import CreditScheduler
+        from repro.hardware.machine import Machine
+        from repro.config import MachineConfig
+        machine = Machine(MachineConfig(num_pcpus=2, sockets=1), sim)
+        sched = CreditScheduler(machine, sim, trace)
+        vm = VM(0, VMConfig(name="v", num_vcpus=2), sim, trace)
+        sched.add_vm(vm)
+        ext = ExternalVcrdMonitor(vm, sim)
+        ext.stop()
+        sim.run_until(units.ms(200))
+        assert ext.windows_sampled == 0
+
+    def test_testbed_rejects_bad_monitored_value(self):
+        tb = SimTestbed()
+        with pytest.raises(ConfigurationError):
+            tb.add_vm("V1", workload=NasBenchmark.by_name("EP", scale=0.05),
+                      monitored="telepathy")

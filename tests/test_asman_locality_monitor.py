@@ -1,0 +1,190 @@
+"""Locality model/analyzer, Monitoring Module, VCRD tracker."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.asman.locality import LocalityAnalyzer, LocalityModel
+from repro.asman.monitor import MonitoringModule
+from repro.asman.vcrd import VcrdTracker
+from repro.config import MonitorConfig
+from repro.errors import ConfigurationError
+from repro.guest.spinlock import SpinLock
+from repro.vmm.hypercall import HypercallTable
+from repro.vmm.vm import VCRD
+from tests.conftest import Harness
+
+
+class TestLocalityModel:
+    def test_pairs_are_positive_and_ordered(self, rng):
+        m = LocalityModel(rng, mean_lasting=units.ms(10))
+        for x, z in m.sequence(100):
+            assert x >= 1
+            assert z > x  # interval includes lasting time plus a gap
+
+    def test_mean_lasting_approximates_target(self, rng):
+        target = units.ms(20)
+        m = LocalityModel(rng, mean_lasting=target, cv=0.2)
+        xs = [x for x, _ in m.sequence(2000)]
+        assert np.mean(xs) == pytest.approx(target, rel=0.1)
+
+    def test_autocorrelation_decays(self, rng):
+        """Property (iii): corr(X_i, X_{i+j}) falls as j grows."""
+        m = LocalityModel(rng, mean_lasting=units.ms(10), rho=0.8, cv=0.5)
+        xs = np.array([x for x, _ in m.sequence(4000)], dtype=float)
+        def corr(lag):
+            return np.corrcoef(xs[:-lag], xs[lag:])[0, 1]
+        assert corr(1) > corr(8)
+        assert corr(1) > 0.3
+
+    def test_zero_cv_is_deterministic_mean(self, rng):
+        m = LocalityModel(rng, mean_lasting=1000, cv=0.0)
+        xs = {x for x, _ in m.sequence(50)}
+        assert xs == {1000}
+
+    def test_rejects_bad_rho(self, rng):
+        with pytest.raises(ConfigurationError):
+            LocalityModel(rng, mean_lasting=100, rho=1.0)
+
+    def test_iterable_protocol(self, rng):
+        m = LocalityModel(rng, mean_lasting=100)
+        x, z = next(iter(m))
+        assert x >= 1 and z > x
+
+
+class TestLocalityAnalyzer:
+    def test_splits_on_gaps(self):
+        a = LocalityAnalyzer(split_gap=100)
+        ts = [0, 10, 20, 500, 510, 2000]
+        locs = a.localities(ts)
+        assert [l.events for l in locs] == [3, 2, 1]
+
+    def test_empty_input(self):
+        assert LocalityAnalyzer(10).localities([]) == []
+
+    def test_single_event(self):
+        locs = LocalityAnalyzer(10).localities([42])
+        assert len(locs) == 1
+        assert locs[0].start == 42
+
+    def test_unsorted_input_handled(self):
+        a = LocalityAnalyzer(100)
+        assert len(a.localities([500, 0, 10])) == 2
+
+    def test_burstiness(self):
+        a = LocalityAnalyzer(100)
+        assert a.burstiness([0, 10, 20, 500, 510, 2000]) == pytest.approx(2.0)
+        assert a.burstiness([]) == 0.0
+
+    def test_intervals_are_z_sequence(self):
+        a = LocalityAnalyzer(100)
+        zs = a.intervals([0, 10, 500, 2000])
+        assert zs == [500, 1500]
+
+    def test_rejects_bad_gap(self):
+        with pytest.raises(ConfigurationError):
+            LocalityAnalyzer(0)
+
+
+class TestMonitoringModule:
+    def _make(self, harness):
+        table = HypercallTable(harness.sim, harness.trace)
+        mon = MonitoringModule(harness.kernel, table,
+                               rng=np.random.default_rng(0))
+        return mon
+
+    def test_installed_into_kernel(self, harness):
+        mon = self._make(harness)
+        assert harness.kernel.monitor is mon
+
+    def test_small_waits_ignored(self, harness):
+        mon = self._make(harness)
+        lk = SpinLock("l")
+        mon.on_spinlock_wait(lk, 1 << 12)
+        assert mon.adjusting_events == 0
+        assert harness.vm.vcrd is VCRD.LOW
+        assert mon.measured_waits == 1
+
+    def test_below_floor_not_even_measured(self, harness):
+        mon = self._make(harness)
+        mon.on_spinlock_wait(SpinLock("l"), 100)
+        assert mon.measured_waits == 0
+
+    def test_over_threshold_raises_vcrd(self, harness):
+        mon = self._make(harness)
+        mon.on_spinlock_wait(SpinLock("l"), (1 << 20) + 1)
+        assert mon.adjusting_events == 1
+        assert harness.vm.vcrd is VCRD.HIGH
+        assert mon.coscheduling
+
+    def test_in_progress_detection(self, harness):
+        mon = self._make(harness)
+        mon.on_wait_in_progress(SpinLock("l"), (1 << 20) + 5)
+        assert harness.vm.vcrd is VCRD.HIGH
+
+    def test_expiry_returns_to_low(self, harness):
+        mon = self._make(harness)
+        mon.on_spinlock_wait(SpinLock("l"), (1 << 20) + 1)
+        _, estimate = mon.estimates[0]
+        harness.sim.run_until(harness.sim.now + estimate + 10)
+        assert harness.vm.vcrd is VCRD.LOW
+        assert not mon.coscheduling
+
+    def test_event_during_high_extends_window(self, harness):
+        mon = self._make(harness)
+        mon.on_spinlock_wait(SpinLock("l"), (1 << 20) + 1)
+        _, est1 = mon.estimates[0]
+        # Halfway through, another over-threshold wait arrives.
+        harness.sim.run_until(harness.sim.now + est1 // 2)
+        mon.on_spinlock_wait(SpinLock("l"), (1 << 20) + 1)
+        assert mon.adjusting_events == 2
+        assert harness.vm.vcrd is VCRD.HIGH
+        # The new window extends beyond the old expiry.
+        harness.sim.run_until(harness.sim.now + est1 // 2 + 10)
+        assert harness.vm.vcrd is VCRD.HIGH
+
+    def test_refractory_coalesces_bursts(self, harness):
+        mon = self._make(harness)
+        for _ in range(5):
+            mon.on_spinlock_wait(SpinLock("l"), (1 << 20) + 1)
+        assert mon.over_threshold_count == 5
+        assert mon.adjusting_events == 1  # one locality onset
+
+    def test_stats_shape(self, harness):
+        mon = self._make(harness)
+        stats = mon.stats()
+        for key in ("adjusting_events", "over_threshold", "measured_waits",
+                    "hypercalls"):
+            assert key in stats
+
+
+class TestVcrdTracker:
+    def test_integrates_high_time(self, harness):
+        tracker = VcrdTracker(harness.trace, harness.sim)
+        harness.sim.at(100, lambda: harness.vm.set_vcrd(VCRD.HIGH))
+        harness.sim.at(400, lambda: harness.vm.set_vcrd(VCRD.LOW))
+        harness.sim.run()
+        harness.sim.at(1000, lambda: None)
+        harness.sim.run()
+        assert tracker.high_cycles("vm0") == 300
+        assert tracker.high_fraction("vm0") == pytest.approx(0.3)
+
+    def test_open_episode_counts_to_now(self, harness):
+        tracker = VcrdTracker(harness.trace, harness.sim)
+        harness.sim.at(100, lambda: harness.vm.set_vcrd(VCRD.HIGH))
+        harness.sim.run()
+        harness.sim.at(600, lambda: None)
+        harness.sim.run()
+        assert tracker.high_cycles("vm0") == 500
+
+    def test_episodes_listing(self, harness):
+        tracker = VcrdTracker(harness.trace, harness.sim)
+        for t, v in ((10, VCRD.HIGH), (20, VCRD.LOW),
+                     (30, VCRD.HIGH), (50, VCRD.LOW)):
+            harness.sim.at(t, lambda v=v: harness.vm.set_vcrd(v))
+        harness.sim.run()
+        assert tracker.episodes("vm0") == [(10, 20), (30, 50)]
+
+    def test_unknown_vm_is_zero(self, harness):
+        tracker = VcrdTracker(harness.trace, harness.sim)
+        assert tracker.high_cycles("ghost") == 0

@@ -1,0 +1,102 @@
+"""Calibration suite and LLC-aware relocation."""
+
+import pytest
+
+from repro import units
+from repro.config import MachineConfig, SchedulerConfig, VMConfig
+from repro.experiments.calibration import (CalibrationReport, Probe,
+                                           calibrate, probe_determinism,
+                                           probe_online_rates)
+from repro.hardware.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.adaptive import AdaptiveScheduler
+from repro.vmm.vm import VM
+from tests.conftest import quiet_guest_config
+
+
+class TestProbe:
+    def test_within_tolerance_ok(self):
+        assert Probe("p", 1.0, 1.05, 0.1).ok
+
+    def test_outside_tolerance_fails(self):
+        assert not Probe("p", 1.0, 1.5, 0.1).ok
+
+    def test_zero_expected_uses_absolute(self):
+        assert Probe("p", 0.0, 0.0, 0.0).ok
+        assert not Probe("p", 0.0, 1.0, 0.5).ok
+
+    def test_report_aggregates(self):
+        rep = CalibrationReport(probes=[
+            Probe("a", 1.0, 1.0, 0.1), Probe("b", 1.0, 2.0, 0.1)])
+        assert not rep.ok
+        assert [p.name for p in rep.failures()] == ["b"]
+        assert "calibration" in rep.render()
+
+
+class TestCalibrationProbes:
+    def test_online_rate_probes_pass(self):
+        rep = CalibrationReport()
+        probe_online_rates(rep, rates=(0.4,), scale=0.3)
+        assert rep.ok, rep.render()
+
+    def test_determinism_probe_passes(self):
+        rep = CalibrationReport()
+        probe_determinism(rep, scale=0.1)
+        assert rep.ok, rep.render()
+
+    def test_quick_calibrate_passes(self):
+        rep = calibrate(full=False)
+        assert rep.ok, rep.render()
+
+
+class TestLlcAwareRelocation:
+    def _build(self, llc_aware):
+        sim = Simulator()
+        trace = TraceBus()
+        machine = Machine(MachineConfig(num_pcpus=8, sockets=2), sim)
+        sched = AdaptiveScheduler(machine, sim, trace,
+                                  SchedulerConfig(), llc_aware=llc_aware)
+        vm = VM(0, VMConfig(name="a", num_vcpus=4,
+                            guest=quiet_guest_config()), sim, trace)
+        sched.add_vm(vm)
+        return machine, sched, vm
+
+    def test_llc_aware_prefers_gang_socket(self):
+        machine, sched, vm = self._build(llc_aware=True)
+        # Gang currently on socket 1 (pcpus 4,5,6) with one straggler
+        # stacked on pcpu 4.
+        sched._move_to_runq(vm.vcpus[0], 4)
+        sched._move_to_runq(vm.vcpus[1], 5)
+        sched._move_to_runq(vm.vcpus[2], 6)
+        sched._move_to_runq(vm.vcpus[3], 4)  # conflict -> will move
+        sched.relocate(vm)
+        homes = sorted(v.home_pcpu_id for v in vm.vcpus)
+        assert len(set(homes)) == 4
+        sockets = {machine.topology.socket_of(h) for h in homes}
+        assert sockets == {1}  # the straggler landed on pcpu 7
+
+    def test_default_ignores_sockets(self):
+        machine, sched, vm = self._build(llc_aware=False)
+        sched._move_to_runq(vm.vcpus[0], 4)
+        sched._move_to_runq(vm.vcpus[1], 5)
+        sched._move_to_runq(vm.vcpus[2], 6)
+        sched._move_to_runq(vm.vcpus[3], 4)
+        sched.relocate(vm)
+        homes = sorted(v.home_pcpu_id for v in vm.vcpus)
+        assert len(set(homes)) == 4
+        # Non-LLC-aware picks the first free PCPU (socket 0).
+        sockets = {machine.topology.socket_of(h) for h in homes}
+        assert sockets == {0, 1}
+
+    def test_llc_aware_falls_back_when_socket_full(self):
+        machine, sched, vm = self._build(llc_aware=True)
+        # Occupy all of socket 1 with the first three VCPUs, plus one
+        # more sibling on an already-claimed pcpu: pcpu 7 is taken too.
+        sched._move_to_runq(vm.vcpus[0], 4)
+        sched._move_to_runq(vm.vcpus[1], 5)
+        sched._move_to_runq(vm.vcpus[2], 6)
+        occupied = {4, 5, 6, 7}
+        dest = sched._free_pcpu_for(vm, occupied)
+        assert dest is not None
+        assert dest.socket == 0  # graceful cross-socket fallback

@@ -1,0 +1,172 @@
+"""Configuration validation."""
+
+import pytest
+
+from repro import units
+from repro.config import (GuestConfig, LearningConfig, MachineConfig,
+                          MonitorConfig, SchedulerConfig, VMConfig,
+                          vcpu_online_rate, weight_proportion)
+from repro.errors import ConfigurationError
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper_testbed(self):
+        cfg = MachineConfig()
+        assert cfg.num_pcpus == 8
+        assert cfg.sockets == 2
+
+    def test_rejects_zero_pcpus(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_pcpus=0)
+
+    def test_rejects_indivisible_sockets(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(num_pcpus=8, sockets=3)
+
+    def test_rejects_negative_ipi_latency(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(ipi_latency=-1)
+
+
+class TestSchedulerConfig:
+    def test_defaults_match_xen_credit(self):
+        cfg = SchedulerConfig()
+        assert cfg.slice_cycles == units.ms(30)
+        assert cfg.tick_cycles == units.ms(10)
+        assert cfg.assign_slots == 3
+        assert cfg.credit_per_tick == 100
+
+    def test_slice_must_be_tick_multiple(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(slice_cycles=units.ms(25), tick_cycles=units.ms(10))
+
+    def test_rejects_zero_tick(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(tick_cycles=0)
+
+    def test_rejects_zero_assign_slots(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(assign_slots=0)
+
+    def test_rejects_negative_context_switch(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(context_switch_cycles=-1)
+
+    def test_sampled_accounting_is_default(self):
+        assert SchedulerConfig().exact_accounting is False
+
+
+class TestLearningConfig:
+    def test_defaults_valid(self):
+        cfg = LearningConfig()
+        assert 0 <= cfg.recency < 1
+        assert 0 <= cfg.experimentation < 1
+        assert len(cfg.candidates) >= 2
+
+    def test_rejects_bad_recency(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(recency=1.0)
+        with pytest.raises(ConfigurationError):
+            LearningConfig(recency=-0.1)
+
+    def test_rejects_bad_experimentation(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(experimentation=1.0)
+
+    def test_rejects_single_candidate(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(candidates=(units.ms(1),))
+
+    def test_rejects_unsorted_candidates(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(candidates=(units.ms(4), units.ms(2)))
+
+    def test_rejects_nonpositive_candidate(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(candidates=(0, units.ms(2)))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ConfigurationError):
+            LearningConfig(initial_scale=0.0)
+
+
+class TestMonitorConfig:
+    def test_defaults_match_paper(self):
+        cfg = MonitorConfig()
+        assert cfg.delta_exp == 20
+        assert cfg.over_threshold_cycles == 2 ** 20
+        assert cfg.measure_floor_cycles == 2 ** 10
+
+    def test_floor_must_not_exceed_delta(self):
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(delta_exp=10, measure_floor_exp=12)
+
+
+class TestGuestConfig:
+    def test_rejects_zero_timeslice(self):
+        with pytest.raises(ConfigurationError):
+            GuestConfig(timeslice_cycles=0)
+
+    def test_rejects_negative_spin_budget(self):
+        with pytest.raises(ConfigurationError):
+            GuestConfig(futex_spin_cycles=-1)
+
+    def test_irq_daemon_disabled_by_zero_interval(self):
+        cfg = GuestConfig(irq_interval_cycles=0)
+        assert cfg.irq_interval_cycles == 0
+
+    def test_rejects_zero_irq_lock_period(self):
+        with pytest.raises(ConfigurationError):
+            GuestConfig(irq_lock_period=0)
+
+
+class TestVMConfig:
+    def test_valid_default(self):
+        cfg = VMConfig(name="v")
+        assert cfg.num_vcpus == 4
+        assert cfg.weight == 256
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            VMConfig(name="")
+
+    def test_rejects_zero_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            VMConfig(name="v", num_vcpus=0)
+
+    def test_rejects_zero_weight(self):
+        with pytest.raises(ConfigurationError):
+            VMConfig(name="v", weight=0)
+
+
+class TestEquations:
+    """Equations (1) and (2) from the paper."""
+
+    def test_weight_proportion(self):
+        assert weight_proportion([256, 256], 0) == pytest.approx(0.5)
+        assert weight_proportion([128, 256], 0) == pytest.approx(1 / 3)
+
+    def test_weight_proportions_sum_to_one(self):
+        weights = [256, 128, 64, 32]
+        total = sum(weight_proportion(weights, i) for i in range(4))
+        assert total == pytest.approx(1.0)
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ConfigurationError):
+            weight_proportion([0], 0)
+
+    @pytest.mark.parametrize("weight,expected", [
+        (256, 1.0), (128, 2 / 3), (64, 0.4), (32, 2 / 9),
+    ])
+    def test_paper_online_rates(self, weight, expected):
+        """The paper's Section 5.2 table: weights 256/128/64/32 against an
+        idle Domain-0 (weight 256) give 100/66.7/40/22.2%."""
+        omega = weight_proportion([weight, 256], 0)
+        assert vcpu_online_rate(8, omega, 4) == pytest.approx(expected)
+
+    def test_online_rate_capped_at_one(self):
+        assert vcpu_online_rate(8, 1.0, 4) == 1.0
+
+    def test_online_rate_rejects_zero_vcpus(self):
+        with pytest.raises(ConfigurationError):
+            vcpu_online_rate(8, 0.5, 0)

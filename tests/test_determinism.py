@@ -1,0 +1,34 @@
+"""Reproducibility: identical seeds give identical runs."""
+
+import pytest
+
+from repro.experiments.runner import run_single_vm
+from repro.workloads.nas import NasBenchmark
+
+
+class TestDeterminism:
+    def _run(self, sched, seed):
+        return run_single_vm(
+            lambda: NasBenchmark.by_name("LU", scale=0.2),
+            scheduler=sched, online_rate=0.4, seed=seed)
+
+    @pytest.mark.parametrize("sched", ["credit", "asman", "con"])
+    def test_same_seed_same_runtime(self, sched):
+        a = self._run(sched, seed=11)
+        b = self._run(sched, seed=11)
+        assert a.runtime_cycles == b.runtime_cycles
+        assert a.spin_summary == b.spin_summary
+
+    def test_same_seed_same_wait_trace(self):
+        a = run_single_vm(lambda: NasBenchmark.by_name("LU", scale=0.2),
+                          "credit", online_rate=2 / 9, seed=4,
+                          collect_scatter=True)
+        b = run_single_vm(lambda: NasBenchmark.by_name("LU", scale=0.2),
+                          "credit", online_rate=2 / 9, seed=4,
+                          collect_scatter=True)
+        assert a.spin_scatter == b.spin_scatter
+
+    def test_different_seeds_differ(self):
+        a = self._run("credit", seed=1)
+        b = self._run("credit", seed=2)
+        assert a.runtime_cycles != b.runtime_cycles

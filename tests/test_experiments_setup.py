@@ -1,0 +1,148 @@
+"""Testbed builder and runners (fast, small-scale scenarios)."""
+
+import pytest
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.runner import (PAPER_RATES, run_multi_vm,
+                                      run_single_vm, run_specjbb)
+from repro.experiments.setup import make_scheduler, weight_for_rate
+from repro.experiments.setup import Testbed as SimTestbed
+from repro.workloads.nas import NasBenchmark
+from repro.workloads.speccpu import SpecCpuRateWorkload
+from repro.workloads.synthetic import PhaseSpec, SyntheticWorkload
+
+
+class TestWeightForRate:
+    @pytest.mark.parametrize("rate,weight", [
+        (1.0, 256), (2 / 3, 128), (0.4, 64), (2 / 9, 32)])
+    def test_paper_weights(self, rate, weight):
+        assert weight_for_rate(rate) == weight
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            weight_for_rate(0.0)
+        with pytest.raises(ConfigurationError):
+            weight_for_rate(1.5)
+
+    def test_paper_rates_constant(self):
+        assert PAPER_RATES == (1.0, 2 / 3, 0.4, 2 / 9)
+
+
+class TestMakeScheduler:
+    def test_known_names(self):
+        assert make_scheduler("credit").name == "credit"
+        assert make_scheduler("ASMAN").name == "asman"
+        assert make_scheduler("con").name == "con"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("cfs")
+
+
+class TestTestbed:
+    def test_domain0_defaults(self):
+        tb = SimTestbed()
+        d0 = tb.add_domain0()
+        assert d0.config.num_vcpus == 8
+        assert d0.weight == 256
+        assert "Domain-0" in tb.vms
+
+    def test_duplicate_vm_rejected(self):
+        tb = SimTestbed()
+        tb.add_vm("a", num_vcpus=1)
+        with pytest.raises(ConfigurationError):
+            tb.add_vm("a", num_vcpus=1)
+
+    def test_add_after_start_hotplugs(self):
+        tb = SimTestbed()
+        tb.add_vm("a", num_vcpus=1)
+        tb.start()
+        vm = tb.add_vm("b", num_vcpus=1)  # hot-plug is supported
+        assert vm.name == "b"
+        tb.scheduler.check_invariants()
+
+    def test_monitor_attached_only_under_asman(self):
+        wl = SyntheticWorkload("s", 1, [PhaseSpec(compute=1000)])
+        tb = SimTestbed(scheduler="asman")
+        tb.add_vm("a", workload=wl)
+        assert "a" in tb.monitors
+        wl2 = SyntheticWorkload("s", 1, [PhaseSpec(compute=1000)])
+        tb2 = SimTestbed(scheduler="credit")
+        tb2.add_vm("a", workload=wl2)
+        assert "a" not in tb2.monitors
+
+    def test_monitored_override(self):
+        wl = SyntheticWorkload("s", 1, [PhaseSpec(compute=1000)])
+        tb = SimTestbed(scheduler="credit")
+        tb.add_vm("a", workload=wl, monitored=True)
+        assert "a" in tb.monitors
+
+    def test_spin_stats_require_workload(self):
+        tb = SimTestbed()
+        tb.add_vm("a")
+        with pytest.raises(ConfigurationError):
+            tb.spin_stats("a")
+
+    def test_run_for_advances_clock(self):
+        tb = SimTestbed()
+        tb.add_vm("a", num_vcpus=1)
+        tb.run_for(units.ms(5))
+        assert tb.sim.now == units.ms(5)
+
+
+class TestRunners:
+    def test_single_vm_completes(self):
+        r = run_single_vm(
+            lambda: NasBenchmark.by_name("EP", scale=0.05),
+            scheduler="credit", online_rate=1.0)
+        assert r.finished
+        assert r.runtime_seconds > 0
+        assert r.weight == 256
+        assert r.measured_online_rate > 0.5
+
+    def test_single_vm_rate_enforced(self):
+        r = run_single_vm(
+            lambda: SpecCpuRateWorkload.by_name("176.gcc", scale=0.3),
+            scheduler="credit", online_rate=0.4)
+        assert r.measured_online_rate == pytest.approx(0.4, abs=0.07)
+
+    def test_single_vm_asman_has_monitor_stats(self):
+        r = run_single_vm(
+            lambda: NasBenchmark.by_name("EP", scale=0.05),
+            scheduler="asman", online_rate=1.0)
+        assert r.monitor_stats is not None
+
+    def test_single_vm_deadline(self):
+        with pytest.raises(SimulationError):
+            run_single_vm(
+                lambda: NasBenchmark.by_name("EP", scale=1.0),
+                scheduler="credit", online_rate=0.4,
+                deadline_cycles=units.ms(10))
+
+    def test_multi_vm_requires_rounds_margin(self):
+        with pytest.raises(ConfigurationError):
+            run_multi_vm(
+                [("V1", lambda: NasBenchmark.by_name("EP", scale=0.05,
+                                                     rounds=1), False)],
+                measure_rounds=2)
+
+    def test_multi_vm_round_measurement(self):
+        assign = [
+            ("V1", lambda: SpecCpuRateWorkload.by_name(
+                "176.gcc", scale=0.05, rounds=6), False),
+            ("V2", lambda: NasBenchmark.by_name(
+                "EP", scale=0.05, rounds=6), True),
+        ]
+        r = run_multi_vm(assign, scheduler="credit", measure_rounds=1)
+        assert set(r.round_seconds) == {"V1", "V2"}
+        assert all(v > 0 for v in r.round_seconds.values())
+        assert r.fairness_jains > 0.8
+
+    def test_specjbb_runner(self):
+        r = run_specjbb(2, scheduler="credit", online_rate=1.0,
+                        window_cycles=units.ms(200),
+                        warmup_cycles=units.ms(20))
+        assert r.bops > 0
+        assert r.warehouses == 2

@@ -1,0 +1,324 @@
+"""Guest kernel dispatch: end-to-end op execution on a wired system."""
+
+import pytest
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.guest.ops import (BarrierOp, Compute, Critical, FlagSet, FlagWait,
+                             SemDown, SemUp, Sleep)
+from repro.guest.task import TaskState
+from repro.vmm.vm import VCPUState
+from tests.conftest import Harness
+
+
+def prog(*ops):
+    return iter(ops)
+
+
+class TestComputeExecution:
+    def test_single_compute_completes(self, harness):
+        t = harness.kernel.spawn("t", prog(Compute(units.ms(1))), 0)
+        assert harness.run_until_done()
+        assert t.done
+        assert t.compute_cycles_done == units.ms(1)
+        assert harness.kernel.finished_at is not None
+
+    def test_multiple_ops_sequential(self, harness):
+        t = harness.kernel.spawn(
+            "t", prog(Compute(1000), Compute(2000), Compute(3000)), 0)
+        assert harness.run_until_done()
+        assert t.compute_cycles_done == 6000
+        assert t.ops_completed == 3
+
+    def test_zero_compute_is_instant(self, harness):
+        t = harness.kernel.spawn("t", prog(Compute(0)), 0)
+        assert harness.run_until_done()
+        assert t.done
+
+    def test_workload_done_trace(self, harness):
+        got = []
+        harness.trace.subscribe("workload.done", got.append)
+        harness.kernel.spawn("t", prog(Compute(100)), 0)
+        harness.run_until_done()
+        assert len(got) == 1
+        assert got[0]["vm"] == "vm0"
+
+    def test_empty_program_finishes_immediately(self, harness):
+        t = harness.kernel.spawn("t", prog(), 0)
+        assert harness.run_until_done()
+        assert t.done
+
+    def test_compute_survives_preemption(self):
+        # Two 1-VCPU VMs on one PCPU: each task's compute must pause and
+        # resume across VMM preemption without losing progress.
+        h = Harness(num_pcpus=1, num_vcpus=1)
+        _, k2 = h.add_vm("vm1", num_vcpus=1)
+        work = units.ms(25)
+        t0 = h.kernel.spawn("t0", prog(Compute(work)), 0)
+        t1 = k2.spawn("t1", prog(Compute(work)), 0)
+        h.start()
+        done = h.sim.run_until_true(
+            lambda: h.kernel.finished and k2.finished,
+            deadline=units.ms(500))
+        assert done
+        assert t0.compute_cycles_done == work
+        assert t1.compute_cycles_done == work
+        # Serialised on one PCPU: total elapsed >= sum of work.
+        assert h.sim.now >= 2 * work
+
+
+class TestCriticalSections:
+    def test_uncontended_critical(self, harness):
+        t = harness.kernel.spawn("t", prog(Critical("lk", 5000)), 0)
+        assert harness.run_until_done()
+        lk = harness.kernel.locks["lk"]
+        assert lk.acquisitions == 1
+        assert lk.contended_acquisitions == 0
+        assert not lk.is_held
+        assert t.locks_held == 0
+
+    def test_contended_critical_serialises(self, harness):
+        hold = units.us(50)
+        for i in range(2):
+            harness.kernel.spawn(
+                f"t{i}", prog(Critical("lk", hold), Compute(100)), i)
+        assert harness.run_until_done()
+        lk = harness.kernel.locks["lk"]
+        assert lk.acquisitions == 2
+        # The loser waited at least the winner's hold time.
+        assert lk.max_wait >= hold
+
+    def test_spinner_occupies_vcpu(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        hold = units.ms(2)
+        h.kernel.spawn("holder", prog(Critical("lk", hold)), 0)
+        spinner = h.kernel.spawn("spinner",
+                                 prog(Compute(100), Critical("lk", 100)), 1)
+        h.run_ms(1)
+        # While the holder is inside the critical section, the late
+        # arriver spins and its VCPU stays online (not BLOCKED).
+        assert spinner.state is TaskState.SPINNING
+        assert spinner.vcpu.state is VCPUState.RUNNING
+
+    def test_wait_trace_emitted_above_floor(self, harness):
+        got = []
+        harness.trace.subscribe("spinlock.wait", got.append)
+        hold = units.us(30)  # > 2^10 cycles
+        for i in range(2):
+            harness.kernel.spawn(f"t{i}", prog(Critical("lk", hold)), i)
+        harness.run_until_done()
+        assert len(got) >= 1
+        assert got[0]["lock"] == "lk"
+        assert got[0]["wait"] >= 1 << 10
+
+
+class TestSemaphores:
+    def test_pingpong_across_vcpus(self, harness):
+        a = harness.kernel.spawn(
+            "a", prog(Compute(1000), SemUp("s"), Compute(1000)), 0)
+        b = harness.kernel.spawn(
+            "b", prog(SemDown("s"), Compute(1000)), 1)
+        assert harness.run_until_done()
+        assert a.done and b.done
+
+    def test_blocked_task_releases_vcpu(self, harness):
+        b = harness.kernel.spawn("b", prog(SemDown("s")), 1)
+        harness.run_ms(1)
+        assert b.state is TaskState.BLOCKED
+        assert b.vcpu.state is VCPUState.BLOCKED
+
+    def test_sem_wait_trace(self, harness):
+        got = []
+        harness.trace.subscribe("sem.wait", got.append)
+        harness.kernel.spawn("b", prog(SemDown("s")), 1)
+        harness.kernel.spawn("a", prog(Compute(units.ms(1)), SemUp("s")), 0)
+        assert harness.run_until_done()
+        assert len(got) == 1
+        assert got[0]["wait"] > 0
+
+    def test_pre_banked_semaphore_never_blocks(self, harness):
+        harness.kernel.semaphore("s", initial=1)
+        b = harness.kernel.spawn("b", prog(SemDown("s")), 0)
+        assert harness.run_until_done()
+        assert b.done
+
+
+class TestBarriers:
+    def test_barrier_synchronises(self):
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        h.kernel.barrier("bar", 4)
+        finish = []
+        for i in range(4):
+            # Uneven arrival times: the barrier must hold early arrivers.
+            h.kernel.spawn(
+                f"t{i}",
+                prog(Compute(units.us(100) * (i + 1)), BarrierOp("bar"),
+                     Compute(100)),
+                i)
+        assert h.run_until_done()
+        bar = h.kernel.barriers["bar"]
+        assert bar.crossings == 1
+        assert bar.count == 0
+
+    def test_repeated_barriers(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        h.kernel.barrier("bar", 2)
+        ops = []
+        for _ in range(5):
+            ops += [Compute(units.us(10)), BarrierOp("bar")]
+        for i in range(2):
+            h.kernel.spawn(f"t{i}", prog(*ops), i)
+        assert h.run_until_done()
+        assert h.kernel.barriers["bar"].crossings == 5
+
+    def test_undeclared_barrier_rejected(self, harness):
+        harness.kernel.spawn("t", prog(BarrierOp("nope")), 0)
+        with pytest.raises(WorkloadError):
+            harness.run_until_done()
+
+    def test_mismatched_parties_rejected(self, harness):
+        harness.kernel.barrier("bar", 2)
+        with pytest.raises(Exception):
+            harness.kernel.barrier("bar", 3)
+
+    def test_late_arrival_blocks_after_spin_budget(self):
+        from tests.conftest import quiet_guest_config
+        h = Harness(num_pcpus=2, num_vcpus=2,
+                    guest_config=quiet_guest_config(
+                        futex_spin_cycles=units.us(10)))
+        h.kernel.barrier("bar", 2)
+        early = h.kernel.spawn("early", prog(BarrierOp("bar")), 0)
+        h.kernel.spawn("late", prog(Compute(units.ms(5)),
+                                    BarrierOp("bar")), 1)
+        h.run_ms(2)
+        # Early arriver exhausted its tiny spin budget and went to sleep.
+        assert early.state is TaskState.BLOCKED
+        assert h.run_until_done()
+
+    def test_early_arrival_spin_success_when_fast(self):
+        from tests.conftest import quiet_guest_config
+        h = Harness(num_pcpus=2, num_vcpus=2,
+                    guest_config=quiet_guest_config(
+                        futex_spin_cycles=units.ms(5)))
+        h.kernel.barrier("bar", 2)
+        h.kernel.spawn("a", prog(BarrierOp("bar")), 0)
+        h.kernel.spawn("b", prog(Compute(units.us(100)),
+                                 BarrierOp("bar")), 1)
+        assert h.run_until_done()
+        assert h.kernel.barriers["bar"].futex.spin_successes >= 1
+        assert h.kernel.barriers["bar"].futex.blocks == 0
+
+
+class TestFlags:
+    def test_pipeline_ordering(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        order = []
+
+        def producer():
+            yield Compute(units.ms(1))
+            order.append("produced")
+            yield FlagSet("f", 1)
+
+        def consumer():
+            yield FlagWait("f", 1)
+            order.append("consumed")
+            yield Compute(10)
+
+        h.kernel.spawn("p", producer(), 0)
+        h.kernel.spawn("c", consumer(), 1)
+        assert h.run_until_done()
+        assert order == ["produced", "consumed"]
+
+    def test_flag_wait_burns_cpu(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        c = h.kernel.spawn("c", iter([FlagWait("f", 1)]), 1)
+        h.run_ms(1)
+        assert c.state is TaskState.SPINNING
+        assert c.vcpu.state is VCPUState.RUNNING  # spinning, not idle
+
+    def test_already_satisfied_flag_is_instant(self, harness):
+        harness.kernel.flag("f").advance(5)
+        t = harness.kernel.spawn("t", prog(FlagWait("f", 3)), 0)
+        assert harness.run_until_done()
+        assert t.done
+
+    def test_flag_wait_time_recorded(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        h.kernel.spawn("p", prog(Compute(units.ms(2)), FlagSet("f", 1)), 0)
+        h.kernel.spawn("c", prog(FlagWait("f", 1)), 1)
+        assert h.run_until_done()
+        f = h.kernel.flags["f"]
+        assert f.spin_waits == 1
+        assert f.max_spin_wait >= units.ms(1.5)
+
+
+class TestSleepAndDaemons:
+    def test_sleep_blocks_then_wakes(self, harness):
+        t = harness.kernel.spawn("t", prog(Sleep(units.ms(3)),
+                                           Compute(100)), 0)
+        harness.run_ms(1)
+        assert t.state is TaskState.BLOCKED
+        assert harness.run_until_done()
+        assert harness.sim.now >= units.ms(3)
+
+    def test_irq_daemon_spawned_when_configured(self):
+        from repro.config import GuestConfig
+        h = Harness(guest_config=GuestConfig())  # irq enabled by default
+        names = [t.name for t in h.kernel.tasks]
+        assert "kernel.irqd" in names
+
+    def test_daemon_excluded_from_finished(self):
+        from repro.config import GuestConfig
+        h = Harness(guest_config=GuestConfig())
+        h.kernel.spawn("w", prog(Compute(units.ms(2))), 1)
+        assert h.run_until_done()
+        assert h.kernel.finished  # despite the daemon never finishing
+
+    def test_irq_daemon_does_work(self):
+        from repro.config import GuestConfig
+        h = Harness(guest_config=GuestConfig())
+        h.kernel.spawn("w", prog(Compute(units.ms(50))), 1)
+        h.run_ms(20)
+        assert h.kernel.irq_count >= 10  # ~1 kHz
+
+    def test_no_daemon_when_disabled(self, harness):
+        assert all(not t.daemon for t in harness.kernel.tasks)
+
+
+class TestGuestScheduling:
+    def test_two_tasks_share_one_vcpu(self):
+        h = Harness(num_pcpus=1, num_vcpus=1)
+        work = units.ms(25)
+        a = h.kernel.spawn("a", prog(Compute(work)), 0)
+        b = h.kernel.spawn("b", prog(Compute(work)), 0)
+        assert h.run_until_done(deadline_ms=1000)
+        assert a.done and b.done
+        assert h.kernel.guest_switches >= 1
+
+    def test_rotation_respects_timeslice(self):
+        from tests.conftest import quiet_guest_config
+        h = Harness(num_pcpus=1, num_vcpus=1,
+                    guest_config=quiet_guest_config(
+                        timeslice_cycles=units.ms(1)))
+        seg = units.us(100)
+        a = h.kernel.spawn("a", prog(*[Compute(seg)] * 100), 0)
+        b = h.kernel.spawn("b", prog(*[Compute(seg)] * 100), 0)
+        h.run_ms(5)
+        # With a 1 ms guest slice, both made progress early on.
+        assert a.compute_cycles_done > 0
+        assert b.compute_cycles_done > 0
+
+    def test_spawn_round_robin_assignment(self, harness):
+        t0 = harness.kernel.spawn("a", prog())
+        t1 = harness.kernel.spawn("b", prog())
+        assert t0.vcpu.index == 0
+        assert t1.vcpu.index == 1
+
+    def test_spawn_rejects_bad_vcpu_index(self, harness):
+        with pytest.raises(WorkloadError):
+            harness.kernel.spawn("t", prog(), vcpu_index=99)
+
+    def test_unfinished_tasks(self, harness):
+        harness.kernel.spawn("t", prog(Compute(units.ms(100))), 0)
+        harness.run_ms(1)
+        assert len(harness.kernel.unfinished_tasks()) == 1

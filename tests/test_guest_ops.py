@@ -1,0 +1,59 @@
+"""Op vocabulary validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.guest.ops import (BarrierOp, Compute, Critical, FlagSet, FlagWait,
+                             SemDown, SemUp, Sleep)
+
+
+class TestOpValidation:
+    def test_compute_accepts_zero(self):
+        assert Compute(0).cycles == 0
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(WorkloadError):
+            Compute(-1)
+
+    def test_critical_fields(self):
+        op = Critical("lk", 500)
+        assert op.lock == "lk"
+        assert op.hold == 500
+
+    def test_critical_rejects_negative_hold(self):
+        with pytest.raises(WorkloadError):
+            Critical("lk", -1)
+
+    def test_critical_rejects_empty_lock(self):
+        with pytest.raises(WorkloadError):
+            Critical("", 1)
+
+    def test_barrier_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            BarrierOp("")
+
+    def test_sem_ops_reject_empty_name(self):
+        with pytest.raises(WorkloadError):
+            SemDown("")
+        with pytest.raises(WorkloadError):
+            SemUp("")
+
+    def test_sleep_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            Sleep(0)
+
+    def test_flag_ops_reject_empty_name(self):
+        with pytest.raises(WorkloadError):
+            FlagSet("", 1)
+        with pytest.raises(WorkloadError):
+            FlagWait("", 1)
+
+    def test_ops_are_frozen(self):
+        op = Compute(10)
+        with pytest.raises(AttributeError):
+            op.cycles = 20
+
+    def test_ops_are_hashable_values(self):
+        assert Compute(10) == Compute(10)
+        assert Critical("a", 1) != Critical("b", 1)
+        assert len({Compute(10), Compute(10), Compute(20)}) == 2

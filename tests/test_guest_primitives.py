@@ -1,0 +1,249 @@
+"""Guest synchronisation primitives as standalone state machines."""
+
+import pytest
+
+from repro.config import VMConfig
+from repro.errors import GuestStateError
+from repro.guest.barrier import Barrier
+from repro.guest.flags import FlagVar
+from repro.guest.futex import FutexQueue
+from repro.guest.hrtimer import Hrtimer
+from repro.guest.semaphore import Semaphore
+from repro.guest.spinlock import SpinLock
+from repro.guest.task import Task
+from repro.vmm.vm import VM
+
+
+@pytest.fixture
+def tasks(sim, trace):
+    vm = VM(0, VMConfig(name="v", num_vcpus=4), sim, trace)
+    return [Task(f"t{i}", iter(()), vm.vcpus[i]) for i in range(4)]
+
+
+class TestSpinLock:
+    def test_uncontended_acquire(self, tasks):
+        lk = SpinLock("l")
+        assert lk.try_acquire(tasks[0], 0)
+        assert lk.holder is tasks[0]
+        assert lk.is_held
+
+    def test_contended_acquire_fails(self, tasks):
+        lk = SpinLock("l")
+        lk.try_acquire(tasks[0], 0)
+        assert not lk.try_acquire(tasks[1], 5)
+
+    def test_release_requires_holder(self, tasks):
+        lk = SpinLock("l")
+        lk.try_acquire(tasks[0], 0)
+        with pytest.raises(GuestStateError):
+            lk.release(tasks[1])
+
+    def test_release_frees(self, tasks):
+        lk = SpinLock("l")
+        lk.try_acquire(tasks[0], 0)
+        lk.release(tasks[0])
+        assert lk.holder is None
+        assert lk.try_acquire(tasks[1], 10)
+
+    def test_waiter_queue_fifo(self, tasks):
+        lk = SpinLock("l")
+        lk.enqueue_waiter(tasks[0], 1)
+        lk.enqueue_waiter(tasks[1], 2)
+        assert lk.remove_waiter(tasks[0]) == 1
+        assert lk.remove_waiter(tasks[1]) == 2
+
+    def test_remove_unknown_waiter_rejected(self, tasks):
+        lk = SpinLock("l")
+        with pytest.raises(GuestStateError):
+            lk.remove_waiter(tasks[0])
+
+    def test_wait_statistics(self, tasks):
+        lk = SpinLock("l")
+        lk.record_acquisition(100)
+        lk.record_acquisition(300)
+        assert lk.acquisitions == 2
+        assert lk.max_wait == 300
+        assert lk.mean_wait() == pytest.approx(200.0)
+
+    def test_mean_wait_empty(self):
+        assert SpinLock("l").mean_wait() == 0.0
+
+
+class TestSemaphore:
+    def test_initial_count_consumed(self, tasks):
+        sem = Semaphore("s", initial=2)
+        assert sem.try_down(tasks[0])
+        assert sem.try_down(tasks[1])
+        assert not sem.try_down(tasks[2])
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(GuestStateError):
+            Semaphore("s", initial=-1)
+
+    def test_up_banks_when_no_waiters(self, tasks):
+        sem = Semaphore("s")
+        assert sem.up(0) is None
+        assert sem.count == 1
+        assert sem.try_down(tasks[0])
+
+    def test_up_wakes_oldest_waiter(self, tasks):
+        sem = Semaphore("s")
+        sem.enqueue_waiter(tasks[0], 10)
+        sem.enqueue_waiter(tasks[1], 20)
+        woken, wait = sem.up(110)
+        assert woken is tasks[0]
+        assert wait == 100
+
+    def test_wake_does_not_touch_count(self, tasks):
+        sem = Semaphore("s")
+        sem.enqueue_waiter(tasks[0], 0)
+        sem.up(5)
+        assert sem.count == 0
+
+    def test_block_wait_stats(self, tasks):
+        sem = Semaphore("s")
+        sem.enqueue_waiter(tasks[0], 0)
+        sem.up(500)
+        assert sem.blocked_waits == 1
+        assert sem.max_block_wait == 500
+
+    def test_remove_waiter(self, tasks):
+        sem = Semaphore("s")
+        sem.enqueue_waiter(tasks[0], 7)
+        assert sem.remove_waiter(tasks[0]) == 7
+        with pytest.raises(GuestStateError):
+            sem.remove_waiter(tasks[0])
+
+
+class TestFutexQueue:
+    def test_generation_starts_zero(self):
+        assert FutexQueue("f").sample() == 0
+
+    def test_block_enqueues_when_generation_matches(self, tasks):
+        f = FutexQueue("f")
+        assert f.block(tasks[0], expected=0, now=10)
+        assert len(f.blocked) == 1
+
+    def test_block_refuses_stale_generation(self, tasks):
+        f = FutexQueue("f")
+        f.wake_all()
+        assert not f.block(tasks[0], expected=0, now=10)
+        assert f.blocked == []
+
+    def test_wake_all_drains_and_bumps(self, tasks):
+        f = FutexQueue("f")
+        f.block(tasks[0], 0, 1)
+        f.block(tasks[1], 0, 2)
+        woken = f.wake_all()
+        assert [t for t, _ in woken] == [tasks[0], tasks[1]]
+        assert f.generation == 1
+        assert f.blocked == []
+
+    def test_spin_phase_tracking(self, tasks):
+        f = FutexQueue("f")
+        f.start_spin(tasks[0], 0)
+        assert not f.spin_satisfied(tasks[0])
+        f.wake_all()
+        assert f.spin_satisfied(tasks[0])
+        f.end_spin(tasks[0])
+        with pytest.raises(GuestStateError):
+            f.spin_satisfied(tasks[0])
+
+    def test_end_spin_idempotent(self, tasks):
+        f = FutexQueue("f")
+        f.end_spin(tasks[0])  # no error
+
+
+class TestBarrier:
+    def test_arrivals_count_up(self):
+        b = Barrier("b", 3)
+        assert not b.arrive()
+        assert not b.arrive()
+        assert b.arrive()
+
+    def test_too_many_arrivals_rejected(self):
+        b = Barrier("b", 1)
+        b.arrive()
+        with pytest.raises(GuestStateError):
+            b.arrive()
+
+    def test_reset_requires_full(self):
+        b = Barrier("b", 2)
+        b.arrive()
+        with pytest.raises(GuestStateError):
+            b.reset_and_wake()
+
+    def test_reset_and_wake_returns_blocked(self, tasks):
+        b = Barrier("b", 2)
+        b.arrive()
+        b.futex.block(tasks[0], 0, 1)
+        b.arrive()
+        woken = b.reset_and_wake()
+        assert [t for t, _ in woken] == [tasks[0]]
+        assert b.count == 0
+        assert b.crossings == 1
+        assert b.futex.generation == 1
+
+    def test_reusable_across_generations(self):
+        b = Barrier("b", 2)
+        for _ in range(3):
+            b.arrive()
+            assert b.arrive()
+            b.reset_and_wake()
+        assert b.crossings == 3
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(GuestStateError):
+            Barrier("b", 0)
+
+
+class TestFlagVar:
+    def test_monotone_advance(self):
+        f = FlagVar("f")
+        f.advance(5)
+        f.advance(3)
+        assert f.value == 5
+
+    def test_satisfied(self):
+        f = FlagVar("f")
+        f.advance(2)
+        assert f.satisfied(2)
+        assert not f.satisfied(3)
+
+    def test_advance_returns_satisfied_waiters(self, tasks):
+        f = FlagVar("f")
+        f.add_waiter(tasks[0], 2, now=0)
+        f.add_waiter(tasks[1], 5, now=0)
+        ready = f.advance(3)
+        assert [t for t, _, _ in ready] == [tasks[0]]
+        assert len(f.waiters) == 1
+
+    def test_wait_stats(self):
+        f = FlagVar("f")
+        f.record_wait(100)
+        f.record_wait(50)
+        assert f.spin_waits == 2
+        assert f.max_spin_wait == 100
+        assert f.total_spin_wait == 150
+
+
+class TestHrtimer:
+    def test_reads_sim_clock(self, sim):
+        t = Hrtimer(sim)
+        sim.at(123, lambda: None)
+        sim.run()
+        assert t.read() == 123
+
+    def test_granularity_quantises(self, sim):
+        t = Hrtimer(sim, granularity=100)
+        sim.at(250, lambda: None)
+        sim.run()
+        assert t.read() == 200
+
+    def test_elapsed_never_negative(self, sim):
+        t = Hrtimer(sim)
+        assert t.elapsed(500) == 0
+
+    def test_rejects_zero_granularity(self, sim):
+        with pytest.raises(ValueError):
+            Hrtimer(sim, granularity=0)

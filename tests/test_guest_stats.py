@@ -1,0 +1,72 @@
+"""Guest snapshot introspection."""
+
+import pytest
+
+from repro import units
+from repro.guest.ops import BarrierOp, Compute, Critical
+from repro.guest.stats import snapshot
+from tests.conftest import Harness
+
+
+def prog(*ops):
+    return iter(ops)
+
+
+class TestGuestSnapshot:
+    def test_task_table(self, harness):
+        harness.kernel.spawn("w", prog(Compute(units.ms(1))), 0)
+        harness.run_until_done()
+        snap = snapshot(harness.kernel)
+        names = [t.name for t in snap.tasks]
+        assert "w" in names
+        done = next(t for t in snap.tasks if t.name == "w")
+        assert done.state == "done"
+        assert done.compute_seconds > 0
+
+    def test_lock_table(self, harness):
+        for i in range(2):
+            harness.kernel.spawn(f"t{i}",
+                                 prog(Critical("L", units.us(30))), i)
+        harness.run_until_done()
+        snap = snapshot(harness.kernel)
+        lock = next(l for l in snap.locks if l.name == "L")
+        assert lock.acquisitions == 2
+        assert 0 <= lock.contention_ratio <= 1
+        assert snap.total_acquisitions() >= 2
+
+    def test_barrier_and_futex_counters(self):
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        h.kernel.barrier("B", 2)
+        for i in range(2):
+            h.kernel.spawn(f"t{i}",
+                           prog(Compute(units.us(100) * (i + 1)),
+                                BarrierOp("B")), i)
+        h.run_until_done()
+        snap = snapshot(h.kernel)
+        assert snap.barrier_crossings["B"] == 1
+        assert snap.futex_blocks + snap.futex_spin_successes >= 1
+
+    def test_hottest_locks_ordering(self, harness):
+        harness.kernel.lock("cold")
+        hot = harness.kernel.lock("hot")
+        hot.record_contended()
+        hot.record_contended()
+        snap = snapshot(harness.kernel)
+        assert snap.hottest_locks(1)[0].name == "hot"
+
+    def test_runnable_count(self, harness):
+        harness.kernel.spawn("w", prog(Compute(units.seconds(10))), 0)
+        harness.run_ms(1)
+        snap = snapshot(harness.kernel)
+        assert snap.runnable_tasks() >= 1
+
+    def test_render_contains_sections(self, harness):
+        harness.kernel.spawn("w", prog(Compute(1000)), 0)
+        harness.run_until_done()
+        out = snapshot(harness.kernel).render()
+        assert "tasks" in out
+        assert "hottest locks" in out
+        assert "guest snapshot: vm0" in out
+
+    def test_worst_wait_empty(self, harness):
+        assert snapshot(harness.kernel).worst_wait() == 0

@@ -1,0 +1,145 @@
+"""Hardware layer: topology, PCPUs, IPI fabric."""
+
+import pytest
+
+from repro.config import MachineConfig, VMConfig
+from repro.errors import ConfigurationError, SchedulerInvariantError
+from repro.hardware.ipi import IPIFabric
+from repro.hardware.machine import Machine
+from repro.hardware.topology import Topology
+from repro.vmm.vm import VM
+
+
+class TestTopology:
+    def test_paper_testbed_layout(self):
+        t = Topology(8, 2)
+        assert t.cores_per_socket == 4
+        assert t.socket_of(0) == 0
+        assert t.socket_of(4) == 1
+        assert t.socket_of(7) == 1
+
+    def test_core_of(self):
+        t = Topology(8, 2)
+        assert t.core_of(5) == 1
+
+    def test_same_socket(self):
+        t = Topology(8, 2)
+        assert t.same_socket(0, 3)
+        assert not t.same_socket(3, 4)
+
+    def test_siblings(self):
+        t = Topology(8, 2)
+        assert t.siblings(5) == [4, 5, 6, 7]
+
+    def test_distance(self):
+        t = Topology(8, 2)
+        assert t.distance(2, 2) == 0
+        assert t.distance(0, 1) == 1
+        assert t.distance(0, 7) == 2
+
+    def test_rejects_out_of_range(self):
+        t = Topology(4, 1)
+        with pytest.raises(ConfigurationError):
+            t.socket_of(4)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ConfigurationError):
+            Topology(7, 2)
+
+
+class TestPCPU:
+    def _vcpu(self, sim, trace):
+        vm = VM(0, VMConfig(name="v", num_vcpus=1), sim, trace)
+        return vm.vcpus[0]
+
+    def test_initially_idle(self, machine):
+        assert all(p.is_idle for p in machine)
+        assert machine.idle_pcpus() == list(machine.pcpus)
+
+    def test_occupy_vacate(self, sim, trace, machine):
+        v = self._vcpu(sim, trace)
+        p = machine[0]
+        p.occupy(v)
+        assert p.current is v
+        assert not p.is_idle
+        assert p.vacate() is v
+        assert p.is_idle
+
+    def test_double_occupy_rejected(self, sim, trace, machine):
+        v = self._vcpu(sim, trace)
+        p = machine[0]
+        p.occupy(v)
+        with pytest.raises(SchedulerInvariantError):
+            p.occupy(v)
+
+    def test_vacate_idle_returns_none(self, machine):
+        assert machine[0].vacate() is None
+
+    def test_utilization_accounting(self, sim, trace, machine):
+        v = self._vcpu(sim, trace)
+        p = machine[0]
+        sim.at(100, lambda: p.occupy(v))
+        sim.at(300, lambda: p.vacate())
+        sim.run()
+        sim.at(400, lambda: None)
+        sim.run()
+        # busy 200 of 400 cycles
+        assert p.utilization() == pytest.approx(0.5)
+
+    def test_switch_counter(self, sim, trace, machine):
+        v = self._vcpu(sim, trace)
+        p = machine[0]
+        p.occupy(v)
+        p.vacate()
+        p.occupy(v)
+        assert p.switches == 2
+
+    def test_total_utilization_zero_initially(self, machine):
+        assert machine.total_utilization() == 0.0
+
+
+class TestIPIFabric:
+    def test_delivery_with_latency(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        got = []
+        fabric.register(1, lambda t, s, p: got.append((t, s, p, sim.now)))
+        fabric.send(0, 1, payload="hello")
+        assert got == []  # asynchronous
+        sim.run()
+        target, source, payload, when = got[0]
+        assert (target, source, payload) == (1, 0, "hello")
+        assert when == machine.config.ipi_latency
+
+    def test_unregistered_target_rejected(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        with pytest.raises(ConfigurationError):
+            fabric.send(0, 3)
+
+    def test_broadcast(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        got = []
+        for pid in range(len(machine)):
+            fabric.register(pid, lambda t, s, p: got.append(t))
+        fabric.broadcast(0, [1, 2, 5])
+        sim.run()
+        assert sorted(got) == [1, 2, 5]
+
+    def test_self_ipi_allowed(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        got = []
+        fabric.register(0, lambda t, s, p: got.append((t, s)))
+        fabric.send(0, 0)
+        sim.run()
+        assert got == [(0, 0)]
+
+    def test_sent_counter(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        fabric.register(1, lambda *a: None)
+        fabric.send(0, 1)
+        fabric.send(0, 1)
+        assert fabric.sent == 2
+
+    def test_register_out_of_range(self, sim, machine):
+        fabric = IPIFabric(machine, sim)
+        with pytest.raises(ConfigurationError):
+            fabric.register(99, lambda *a: None)

@@ -1,0 +1,178 @@
+"""Integration tests: the paper's phenomena at reduced scale.
+
+These are the repository's acceptance tests — each asserts one of the
+shape claims from EXPERIMENTS.md at a scale small enough for CI.
+"""
+
+import pytest
+
+from repro import units
+from repro.experiments.runner import run_multi_vm, run_single_vm
+from repro.metrics.runtime import ideal_slowdown
+from repro.workloads.nas import NasBenchmark
+from repro.workloads.speccpu import SpecCpuRateWorkload
+
+
+def lu(scale=0.4, rounds=1):
+    return lambda: NasBenchmark.by_name("LU", scale=scale, rounds=rounds)
+
+
+def ep(scale=0.4, rounds=1):
+    return lambda: NasBenchmark.by_name("EP", scale=scale, rounds=rounds)
+
+
+class TestPhenomenonUnderCredit:
+    """Section 2.2: virtualization inflates spinlock waits for concurrent
+    workloads under the plain Credit scheduler."""
+
+    def test_no_long_waits_at_full_rate(self):
+        r = run_single_vm(lu(), "credit", online_rate=1.0, seed=1)
+        assert r.spin_summary["over_2^20"] == 0
+
+    def test_long_waits_appear_at_low_rate(self):
+        # Several seeds: lock-holder preemption is probabilistic.
+        total = 0
+        for seed in (1, 3, 5):
+            r = run_single_vm(lu(scale=0.6), "credit",
+                              online_rate=2 / 9, seed=seed)
+            total += r.spin_summary["over_2^20"]
+        assert total > 0
+
+    def test_waits_reach_scheduling_timescales(self):
+        """Over-threshold waits at low rate stretch to >= 2^24 cycles
+        (several ms) — the holder was descheduled, not merely slow."""
+        worst = 0.0
+        for seed in (1, 3, 5):
+            r = run_single_vm(lu(scale=0.6), "credit",
+                              online_rate=2 / 9, seed=seed)
+            worst = max(worst, r.spin_summary["max_log2"])
+        assert worst >= 24.0
+
+    def test_runtime_grows_as_rate_falls(self):
+        times = []
+        for rate in (1.0, 2 / 3, 0.4, 2 / 9):
+            r = run_single_vm(lu(scale=0.3), "credit",
+                              online_rate=rate, seed=1)
+            times.append(r.runtime_seconds)
+        assert times == sorted(times)
+        assert times[-1] > 3.0 * times[0]
+
+    def test_concurrent_workload_exceeds_ideal_slowdown(self):
+        base = run_single_vm(lu(scale=0.5), "credit",
+                             online_rate=1.0, seed=1).runtime_seconds
+        worst_excess = 0.0
+        for seed in (1, 2, 3):
+            r = run_single_vm(lu(scale=0.5), "credit",
+                              online_rate=2 / 9, seed=seed)
+            sd = r.runtime_seconds / base
+            worst_excess = max(worst_excess, sd / ideal_slowdown(2 / 9))
+        assert worst_excess > 1.05  # beyond the fair-share cost
+
+    def test_ep_stays_near_ideal(self):
+        """EP has (almost) no synchronisation: the Credit scheduler costs
+        it only its fair share (the paper's non-concurrent control)."""
+        base = run_single_vm(ep(), "credit",
+                             online_rate=1.0, seed=1).runtime_seconds
+        r = run_single_vm(ep(), "credit", online_rate=2 / 9, seed=1)
+        sd = r.runtime_seconds / base
+        assert sd == pytest.approx(ideal_slowdown(2 / 9), rel=0.12)
+
+    def test_semaphores_unaffected(self):
+        """Sem waits stay bounded by scheduling latencies, never showing
+        the pathological 2^25+ tail (paper: all semaphore waits < 2^16
+        even at 22.2%)."""
+        from repro.experiments.setup import Testbed, weight_for_rate
+        from repro.config import SchedulerConfig
+        from repro.workloads.synthetic import PhaseSpec, SyntheticWorkload
+        got = []
+        tb = Testbed(scheduler="credit",
+                     sched_config=SchedulerConfig(work_conserving=False))
+        tb.trace.subscribe("sem.wait", got.append)
+        tb.add_domain0()
+        wl = SyntheticWorkload("sem", threads=4, phases=[
+            PhaseSpec(compute=units.us(300), repeats=150,
+                      sync="sem_pingpong")])
+        tb.add_vm("V1", weight=weight_for_rate(2 / 9), workload=wl)
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(60))
+        # Blocking waits exist but each costs no CPU; we simply check the
+        # primitive worked under heavy capping.
+        assert got, "the ping-pong must actually block sometimes"
+
+
+class TestASManRecovery:
+    """Sections 5.2-5.4: ASMan mitigates the degradation while keeping
+    fairness and leaving non-concurrent workloads alone."""
+
+    def test_asman_never_slower_overall(self):
+        credit_total = asman_total = 0.0
+        for seed in (1, 3, 5):
+            credit_total += run_single_vm(
+                lu(scale=0.6), "credit", online_rate=2 / 9,
+                seed=seed).runtime_seconds
+            asman_total += run_single_vm(
+                lu(scale=0.6), "asman", online_rate=2 / 9,
+                seed=seed).runtime_seconds
+        assert asman_total < credit_total * 1.02
+
+    def test_asman_detects_and_reports_vcrd(self):
+        detected = 0
+        for seed in (1, 3, 5):
+            r = run_single_vm(lu(scale=0.6), "asman",
+                              online_rate=2 / 9, seed=seed)
+            detected += r.monitor_stats["adjusting_events"]
+        assert detected > 0
+
+    def test_asman_identical_at_full_rate(self):
+        a = run_single_vm(lu(scale=0.3), "credit", online_rate=1.0, seed=1)
+        b = run_single_vm(lu(scale=0.3), "asman", online_rate=1.0, seed=1)
+        assert b.runtime_seconds == pytest.approx(a.runtime_seconds,
+                                                  rel=0.02)
+
+    def test_asman_does_not_hurt_ep(self):
+        a = run_single_vm(ep(), "credit", online_rate=2 / 9, seed=1)
+        b = run_single_vm(ep(), "asman", online_rate=2 / 9, seed=1)
+        assert b.runtime_seconds == pytest.approx(a.runtime_seconds,
+                                                  rel=0.05)
+
+    def test_asman_cap_preserved(self):
+        r = run_single_vm(lu(scale=0.6), "asman", online_rate=2 / 9, seed=1)
+        assert r.measured_online_rate == pytest.approx(2 / 9, abs=0.04)
+
+
+class TestMultiVmShapes:
+    """Figures 11-12 structure (reduced: one mixed 4-VM combination)."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        assign = [
+            ("V1", lambda: SpecCpuRateWorkload.by_name(
+                "256.bzip2", scale=0.4, rounds=24), False),
+            ("V2", lambda: NasBenchmark.by_name(
+                "LU", scale=0.3, rounds=24), True),
+        ]
+        out = {}
+        for sched in ("credit", "asman", "con"):
+            acc = {"V1": 0.0, "V2": 0.0}
+            for seed in (1, 2):
+                r = run_multi_vm(assign, scheduler=sched,
+                                 measure_rounds=2, seed=seed)
+                for k in acc:
+                    acc[k] += r.round_seconds[k]
+                assert r.fairness_jains > 0.9
+            out[sched] = acc
+        return out
+
+    def test_coscheduling_helps_concurrent_vm(self, results):
+        assert results["asman"]["V2"] < results["credit"]["V2"] * 1.02
+
+    def test_throughput_degradation_bounded(self, results):
+        """ASMan's cost to the high-throughput neighbour stays below the
+        paper's 8%-at-worst bound (with margin for simulator noise)."""
+        degradation = (results["asman"]["V1"] - results["credit"]["V1"]) \
+            / results["credit"]["V1"]
+        assert degradation < 0.12
+
+    def test_fairness_under_all_schedulers(self, results):
+        # Checked inside the fixture; re-assert the structure exists.
+        assert set(results) == {"credit", "asman", "con"}

@@ -1,0 +1,190 @@
+"""Metrics collectors and report formatting."""
+
+import pytest
+
+from repro import units
+from repro.config import VMConfig
+from repro.errors import ConfigurationError, WorkloadError
+from repro.metrics.fairness import FairnessReport, jains_index
+from repro.metrics.report import Table, format_mapping, format_series
+from repro.metrics.runtime import (RuntimeCollector, excess_slowdown,
+                                   ideal_slowdown, slowdown)
+from repro.metrics.spinlock_stats import SpinlockStats
+from repro.metrics.throughput import (bops_score, spec_rate,
+                                      throughput_degradation)
+from repro.vmm.vm import VM
+
+
+class TestSpinlockStats:
+    def _emit(self, trace, times_waits, vm="v"):
+        for t, w in times_waits:
+            trace.emit(t, "spinlock.wait", vm=vm, lock="l", wait=w)
+
+    def test_counts_above_thresholds(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(1, 1 << 12), (2, 1 << 22), (3, 1 << 26)])
+        assert stats.count_above(10) == 3
+        assert stats.count_above(20) == 2
+        assert stats.count_above(25) == 1
+
+    def test_vm_filter(self, trace):
+        stats = SpinlockStats(trace, vm_name="a")
+        self._emit(trace, [(1, 2048)], vm="a")
+        self._emit(trace, [(2, 2048)], vm="b")
+        assert len(stats) == 1
+
+    def test_window_filter(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(10, 1 << 22), (100, 1 << 22)])
+        assert stats.count_above(20, window=(0, 50)) == 1
+
+    def test_scatter_log2(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(1, 1 << 15)])
+        (idx, log2w), = stats.scatter()
+        assert idx == 0
+        assert log2w == pytest.approx(15.0)
+
+    def test_histogram_bins(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(1, 1 << 12), (2, (1 << 12) + 5), (3, 1 << 20)])
+        hist = stats.histogram()
+        assert hist[12] == 2
+        assert hist[20] == 1
+
+    def test_over_threshold_times(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(5, 1 << 22), (9, 1 << 12)])
+        assert stats.over_threshold_times() == [5]
+
+    def test_summary_and_percentile(self, trace):
+        stats = SpinlockStats(trace)
+        self._emit(trace, [(1, 1 << 11), (2, 1 << 21)])
+        s = stats.summary()
+        assert s["recorded"] == 2
+        assert s["over_2^20"] == 1
+        assert stats.percentile(100) == float(1 << 21)
+        assert stats.mean_wait() > 0
+
+    def test_empty_stats(self, trace):
+        stats = SpinlockStats(trace)
+        assert stats.max_wait() == 0
+        assert stats.mean_wait() == 0.0
+        assert stats.percentile(50) == 0.0
+
+
+class TestRuntime:
+    def test_collects_workload_done(self, trace):
+        rc = RuntimeCollector(trace)
+        trace.emit(units.seconds(2), "workload.done", vm="v1")
+        assert rc.finished("v1")
+        assert rc.runtime_seconds("v1") == pytest.approx(2.0)
+
+    def test_unfinished_raises(self, trace):
+        rc = RuntimeCollector(trace)
+        with pytest.raises(WorkloadError):
+            rc.runtime_cycles("ghost")
+
+    def test_task_done_collection(self, trace):
+        rc = RuntimeCollector(trace)
+        trace.emit(10, "task.done", vm="v1", task="t0")
+        trace.emit(20, "task.done", vm="v1", task="t1")
+        assert rc.task_done["v1"] == [10, 20]
+
+    def test_slowdown_definition(self):
+        assert slowdown(700.0, 400.0) == pytest.approx(1.75)
+        with pytest.raises(WorkloadError):
+            slowdown(1.0, 0.0)
+
+    def test_ideal_slowdown(self):
+        assert ideal_slowdown(2 / 9) == pytest.approx(4.5)
+        with pytest.raises(WorkloadError):
+            ideal_slowdown(0.0)
+
+    def test_excess_slowdown(self):
+        assert excess_slowdown(9.0, 2 / 9) == pytest.approx(2.0)
+
+
+class TestThroughput:
+    def test_bops_score_averages_ge_vcpus(self):
+        data = {1: 100.0, 2: 200.0, 4: 400.0, 6: 500.0, 8: 600.0}
+        # Paper: average of measurements with warehouses >= #VCPUs (4).
+        assert bops_score(data, 4) == pytest.approx(500.0)
+
+    def test_bops_score_requires_eligible(self):
+        with pytest.raises(WorkloadError):
+            bops_score({1: 100.0}, 4)
+
+    def test_spec_rate(self):
+        assert spec_rate(4, 100.0, 200.0) == pytest.approx(2.0)
+        with pytest.raises(WorkloadError):
+            spec_rate(0, 1.0, 1.0)
+
+    def test_degradation(self):
+        assert throughput_degradation(100.0, 92.0) == pytest.approx(0.08)
+        assert throughput_degradation(100.0, 110.0) == 0.0
+
+
+class TestFairness:
+    def test_jains_perfect(self):
+        assert jains_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_jains_worst_case(self):
+        assert jains_index([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+
+    def test_jains_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            jains_index([-1.0])
+
+    def test_jains_all_zero_is_fair(self):
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_report_shares(self, sim, trace):
+        vms = [VM(i, VMConfig(name=f"v{i}", num_vcpus=1, weight=w),
+                  sim, trace) for i, w in enumerate((256, 256))]
+        # v0 consumed 600 cycles, v1 consumed 200 of a 1000-cycle window
+        # on a 1-PCPU "machine".
+        vms[0].vcpus[0].online_cycles = 600
+        vms[1].vcpus[0].online_cycles = 200
+        sim.at(1000, lambda: None)
+        sim.run()
+        report = FairnessReport(vms, elapsed_cycles=1000, num_pcpus=1)
+        by = report.by_vm()
+        assert by["v0"].measured_fraction == pytest.approx(0.6)
+        assert by["v0"].entitled_fraction == pytest.approx(0.5)
+        assert report.jains() < 1.0
+        assert report.max_relative_error() == pytest.approx(0.6, abs=0.01)
+
+    def test_report_rejects_zero_elapsed(self, sim, trace):
+        vm = VM(0, VMConfig(name="v", num_vcpus=1), sim, trace)
+        with pytest.raises(ConfigurationError):
+            FairnessReport([vm], 0, 1)
+
+
+class TestReportFormatting:
+    def test_table_renders_aligned(self):
+        t = Table(["name", "value"], title="demo")
+        t.add_row("alpha", 1.23456)
+        t.add_row("b", 2)
+        out = t.render()
+        assert "demo" in out
+        assert "alpha" in out
+        assert "1.235" in out  # default 3-digit precision
+
+    def test_table_rejects_wrong_arity(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_format_series(self):
+        out = format_series("runtime", [1.0, 2.0], [10.0, 20.0])
+        assert "runtime" in out
+        assert out.count("\n") == 2
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1, 2])
+
+    def test_format_mapping(self):
+        out = format_mapping("stats", {"a": 1, "bb": 2.5})
+        assert "stats" in out and "bb" in out

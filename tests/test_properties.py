@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.asman.learning import RothErevLearner
+from repro.asman.locality import LocalityAnalyzer
+from repro.config import LearningConfig
+from repro.metrics.fairness import jains_index
+from repro.sim.engine import Simulator
+
+import numpy as np
+import pytest
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000),
+                    min_size=1, max_size=50),
+           st.integers(min_value=0, max_value=10_000))
+    def test_run_until_partitions_timeline(self, times, split):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run_until(split)
+        early = list(fired)
+        sim.run_until(10_001)
+        assert all(t <= split for t in early)
+        assert sorted(fired) == sorted(times)
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=1000),
+                              st.booleans()),
+                    min_size=1, max_size=40))
+    def test_cancelled_events_never_fire(self, spec):
+        sim = Simulator()
+        fired = []
+        events = []
+        for t, cancel in spec:
+            ev = sim.at(t, lambda t=t: fired.append(t))
+            events.append((ev, t, cancel))
+        for ev, _, cancel in events:
+            if cancel:
+                ev.cancel()
+        sim.run()
+        expected = sorted(t for _, t, cancel in events if not cancel)
+        assert sorted(fired) == expected
+
+
+class TestLearnerProperties:
+    @given(st.lists(st.integers(min_value=1,
+                                max_value=units.seconds(20)),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_estimates_always_valid_candidates(self, zs, seed):
+        learner = RothErevLearner(LearningConfig(),
+                                  np.random.default_rng(seed))
+        estimates = learner.train(zs)
+        assert all(e in learner.x for e in estimates)
+
+    @given(st.lists(st.integers(min_value=1,
+                                max_value=units.seconds(20)),
+                    min_size=1, max_size=40),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_propensities_remain_positive_and_finite(self, zs, seed):
+        learner = RothErevLearner(LearningConfig(),
+                                  np.random.default_rng(seed))
+        learner.train(zs)
+        q = learner.propensities()
+        assert (q > 0).all()
+        assert np.isfinite(q).all()
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_deterministic_given_seed(self, seed):
+        zs = [units.ms(100)] * 8
+        a = RothErevLearner(LearningConfig(),
+                            np.random.default_rng(seed)).train(zs)
+        b = RothErevLearner(LearningConfig(),
+                            np.random.default_rng(seed)).train(zs)
+        assert a == b
+
+
+class TestLocalityAnalyzerProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=1, max_size=200),
+           st.integers(min_value=1, max_value=10**6))
+    def test_localities_cover_all_events(self, ts, gap):
+        analyzer = LocalityAnalyzer(gap)
+        locs = analyzer.localities(ts)
+        assert sum(l.events for l in locs) == len(ts)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9),
+                    min_size=2, max_size=200),
+           st.integers(min_value=1, max_value=10**6))
+    def test_localities_ordered_and_disjoint(self, ts, gap):
+        analyzer = LocalityAnalyzer(gap)
+        locs = analyzer.localities(ts)
+        for a, b in zip(locs, locs[1:]):
+            assert a.start <= b.start
+            assert a.end <= b.start  # no overlap
+            # Splitting happened because the gap exceeded the threshold.
+            assert b.start - a.end >= 0
+
+
+class TestFairnessProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False),
+                    min_size=1, max_size=20))
+    def test_jains_bounded(self, values):
+        j = jains_index(values)
+        assert 1.0 / len(values) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @given(st.floats(min_value=0.001, max_value=1e6), st.integers(2, 10))
+    def test_jains_equal_values_is_one(self, v, n):
+        assert jains_index([v] * n) == pytest.approx(1.0, rel=1e-12)
+
+
+class TestSpinlockModelProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=1 << 30),
+                    min_size=1, max_size=100))
+    def test_stats_accounting_consistent(self, waits):
+        from repro.guest.spinlock import SpinLock
+        lk = SpinLock("l")
+        for w in waits:
+            lk.record_acquisition(w)
+        assert lk.acquisitions == len(waits)
+        assert lk.max_wait == max(waits)
+        assert lk.total_wait == sum(waits)
+        assert lk.mean_wait() * len(waits) == pytest.approx(sum(waits))
+
+
+class TestGuestComputeProperty:
+    @given(st.lists(st.integers(min_value=1, max_value=units.ms(5)),
+                    min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_compute_work_conserved_across_preemption(self, segs, seed):
+        """However the scheduler slices them, tasks complete exactly the
+        compute they asked for."""
+        from repro.guest.ops import Compute
+        from tests.conftest import Harness
+        h = Harness(num_pcpus=1, num_vcpus=1)
+        _, k2 = h.add_vm("vm1", num_vcpus=1)
+        t1 = h.kernel.spawn("a", iter([Compute(s) for s in segs]), 0)
+        t2 = k2.spawn("b", iter([Compute(s) for s in segs]), 0)
+        h.start()
+        done = h.sim.run_until_true(
+            lambda: h.kernel.finished and k2.finished,
+            deadline=units.seconds(5))
+        assert done
+        assert t1.compute_cycles_done == sum(segs)
+        assert t2.compute_cycles_done == sum(segs)

@@ -1,0 +1,101 @@
+"""Stateful property test: scheduler invariants under random operations.
+
+A hypothesis rule machine drives an AdaptiveScheduler with arbitrary
+interleavings of time advancement, guest block/wake, VCRD flips and
+credit perturbations, asserting after every step that the runqueue/state
+invariants hold (each RUNNABLE VCPU in exactly one runq, RUNNING VCPUs
+linked to their PCPU, no duplicates).
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+from hypothesis import strategies as st
+
+from repro import units
+from repro.config import MachineConfig, SchedulerConfig, VMConfig
+from repro.hardware.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.adaptive import AdaptiveScheduler
+from repro.vmm.vm import VCRD, VCPUState, VM
+from tests.conftest import quiet_guest_config
+
+
+class _InertGuest:
+    def on_online(self, vcpu):
+        pass
+
+    def on_offline(self, vcpu):
+        pass
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.sim = Simulator()
+        trace = TraceBus()
+        machine = Machine(MachineConfig(num_pcpus=4, sockets=1), self.sim)
+        self.sched = AdaptiveScheduler(
+            machine, self.sim, trace,
+            SchedulerConfig(work_conserving=True))
+        self.vms = []
+        for i, nv in enumerate((2, 3, 1)):
+            vm = VM(i, VMConfig(name=f"vm{i}", num_vcpus=nv,
+                                guest=quiet_guest_config()),
+                    self.sim, trace)
+            vm.guest = _InertGuest()
+            self.sched.add_vm(vm)
+            self.vms.append(vm)
+        self.sched.start()
+        self.vcpus = [v for vm in self.vms for v in vm.vcpus]
+
+    # ------------------------------------------------------------------ #
+    @rule(ms_amount=st.floats(min_value=0.1, max_value=25.0))
+    def advance_time(self, ms_amount):
+        self.sim.run_until(self.sim.now + units.ms(ms_amount))
+
+    @rule(idx=st.integers(min_value=0, max_value=5))
+    def block_vcpu(self, idx):
+        v = self.vcpus[idx % len(self.vcpus)]
+        if v.state is not VCPUState.BLOCKED:
+            v.block()
+
+    @rule(idx=st.integers(min_value=0, max_value=5))
+    def wake_vcpu(self, idx):
+        v = self.vcpus[idx % len(self.vcpus)]
+        if v.state is VCPUState.BLOCKED:
+            v.wake()
+
+    @rule(vm_idx=st.integers(min_value=0, max_value=2),
+          high=st.booleans())
+    def flip_vcrd(self, vm_idx, high):
+        self.vms[vm_idx].set_vcrd(VCRD.HIGH if high else VCRD.LOW)
+
+    @rule(idx=st.integers(min_value=0, max_value=5),
+          credit=st.floats(min_value=-900.0, max_value=900.0))
+    def perturb_credit(self, idx, credit):
+        self.vcpus[idx % len(self.vcpus)].credit = credit
+
+    @rule()
+    def assignment(self):
+        self.sched.assign_credits()
+
+    # ------------------------------------------------------------------ #
+    @invariant()
+    def scheduler_invariants_hold(self):
+        if hasattr(self, "sched"):
+            self.sched.check_invariants()
+
+    @invariant()
+    def pcpus_run_at_most_their_occupant(self):
+        if not hasattr(self, "sched"):
+            return
+        running = [p.current for p in self.sched.machine
+                   if p.current is not None]
+        assert len(running) == len(set(id(v) for v in running))
+
+
+TestSchedulerStateMachine = SchedulerMachine.TestCase
+TestSchedulerStateMachine.settings = settings(
+    max_examples=40, stateful_step_count=40, deadline=None)

@@ -1,0 +1,200 @@
+"""The discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.at(30, lambda: order.append("c"))
+        sim.at(10, lambda: order.append("a"))
+        sim.at(20, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_fires_in_scheduling_order(self, sim):
+        order = []
+        sim.at(10, lambda: order.append(1))
+        sim.at(10, lambda: order.append(2))
+        sim.at(10, lambda: order.append(3))
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_time(self, sim):
+        seen = []
+        sim.at(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_cannot_schedule_in_past(self, sim):
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(5, lambda: None)
+
+    def test_schedule_at_current_time_allowed(self, sim):
+        fired = []
+        sim.at(10, lambda: sim.at(10, lambda: fired.append(True)))
+        sim.run()
+        assert fired == [True]
+
+    def test_after_is_relative(self, sim):
+        seen = []
+        sim.at(100, lambda: sim.after(50, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [150]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.after(-1, lambda: None)
+
+    def test_events_executed_counter(self, sim):
+        for t in (1, 2, 3):
+            sim.at(t, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        ev = sim.at(10, lambda: fired.append(True))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        ev = sim.at(10, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_cancel_after_fire_is_noop(self, sim):
+        ev = sim.at(10, lambda: None)
+        sim.run()
+        assert ev.fired
+        ev.cancel()  # no error
+
+    def test_pending_property(self, sim):
+        ev = sim.at(10, lambda: None)
+        assert ev.pending
+        sim.run()
+        assert not ev.pending
+
+    def test_cancel_within_handler(self, sim):
+        fired = []
+        later = sim.at(20, lambda: fired.append("later"))
+        sim.at(10, later.cancel)
+        sim.run()
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        ev1 = sim.at(10, lambda: None)
+        sim.at(20, lambda: None)
+        ev1.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_time(self, sim):
+        fired = []
+        sim.at(10, lambda: fired.append(10))
+        sim.at(30, lambda: fired.append(30))
+        sim.run_until(20)
+        assert fired == [10]
+        assert sim.now == 20
+
+    def test_run_until_includes_boundary(self, sim):
+        fired = []
+        sim.at(20, lambda: fired.append(20))
+        sim.run_until(20)
+        assert fired == [20]
+
+    def test_run_until_past_rejected(self, sim):
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.run_until(50)
+
+    def test_consecutive_windows_partition(self, sim):
+        fired = []
+        for t in (5, 15, 25):
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run_until(10)
+        assert fired == [5]
+        sim.run_until(20)
+        assert fired == [5, 15]
+        sim.run_until(30)
+        assert fired == [5, 15, 25]
+
+
+class TestRunUntilTrue:
+    def test_satisfied_immediately(self, sim):
+        assert sim.run_until_true(lambda: True)
+
+    def test_satisfied_by_event(self, sim):
+        state = {"done": False}
+        sim.at(10, lambda: state.update(done=True))
+        assert sim.run_until_true(lambda: state["done"])
+        assert sim.now == 10
+
+    def test_deadline_stops(self, sim):
+        state = {"done": False}
+        sim.at(100, lambda: state.update(done=True))
+        assert not sim.run_until_true(lambda: state["done"], deadline=50)
+        assert sim.now == 50
+
+    def test_queue_drain_returns_predicate(self, sim):
+        sim.at(10, lambda: None)
+        assert not sim.run_until_true(lambda: False)
+
+
+class TestStop:
+    def test_stop_halts_run(self, sim):
+        fired = []
+        sim.at(10, lambda: (fired.append(10), sim.stop()))
+        sim.at(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10]
+
+    def test_run_max_events(self, sim):
+        fired = []
+        for t in range(1, 6):
+            sim.at(t, lambda t=t: fired.append(t))
+        sim.run(max_events=2)
+        assert fired == [1, 2]
+
+
+class TestPeriodic:
+    def test_fires_repeatedly(self, sim):
+        hits = []
+        sim.every(10, lambda: hits.append(sim.now))
+        sim.run_until(35)
+        assert hits == [10, 20, 30]
+
+    def test_start_offset(self, sim):
+        hits = []
+        sim.every(10, lambda: hits.append(sim.now), start_offset=3)
+        sim.run_until(35)
+        assert hits == [13, 23, 33]
+
+    def test_cancel_stops_repetition(self, sim):
+        hits = []
+        handle = sim.every(10, lambda: hits.append(sim.now))
+        sim.at(25, handle.cancel)
+        sim.run_until(100)
+        assert hits == [10, 20]
+        assert handle.cancelled
+
+    def test_callback_may_cancel_itself(self, sim):
+        hits = []
+        handle = sim.every(10, lambda: (hits.append(sim.now),
+                                        handle.cancel()))
+        sim.run_until(100)
+        assert hits == [10]
+
+    def test_nonpositive_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0, lambda: None)

@@ -1,0 +1,113 @@
+"""RNG streams and the trace bus."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import TraceBus, TraceRecord
+
+
+class TestRngStreams:
+    def test_same_name_is_cached(self):
+        s = RngStreams(1)
+        assert s.get("a") is s.get("a")
+
+    def test_different_names_independent(self):
+        s = RngStreams(1)
+        a = s.get("a").random(100)
+        b = s.get("b").random(100)
+        assert not np.allclose(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(5).get("x").random(10)
+        b = RngStreams(5).get("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").random(10)
+        b = RngStreams(2).get("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_stream_name_order_does_not_matter(self):
+        s1 = RngStreams(9)
+        s1.get("first")
+        v1 = s1.get("second").random(10)
+        s2 = RngStreams(9)
+        v2 = s2.get("second").random(10)  # no "first" drawn
+        assert np.allclose(v1, v2)
+
+    def test_fork_gives_independent_family(self):
+        s = RngStreams(3)
+        f = s.fork(1)
+        assert not np.allclose(s.get("x").random(10), f.get("x").random(10))
+
+    def test_contains(self):
+        s = RngStreams(1)
+        assert "x" not in s
+        s.get("x")
+        assert "x" in s
+
+
+class TestTraceBus:
+    def test_subscriber_receives_matching_category(self, trace):
+        got = []
+        trace.subscribe("a", got.append)
+        trace.emit(1, "a", k=1)
+        trace.emit(2, "b", k=2)
+        assert len(got) == 1
+        assert got[0].category == "a"
+        assert got[0]["k"] == 1
+
+    def test_star_subscriber_receives_all(self, trace):
+        got = []
+        trace.subscribe("*", got.append)
+        trace.emit(1, "a")
+        trace.emit(2, "b")
+        assert [r.category for r in got] == ["a", "b"]
+
+    def test_emit_without_listeners_is_noop(self, trace):
+        trace.emit(1, "ghost", x=1)
+        assert trace.records == []
+
+    def test_retention_requires_optin(self, trace):
+        trace.emit(1, "a")
+        assert trace.records == []
+        trace.retain("a")
+        trace.emit(2, "a")
+        assert len(trace.records) == 1
+
+    def test_retain_star(self, trace):
+        trace.retain("*")
+        trace.emit(1, "anything")
+        assert len(trace.records) == 1
+
+    def test_of_filters_by_category(self, trace):
+        trace.retain("a", "b")
+        trace.emit(1, "a")
+        trace.emit(2, "b")
+        trace.emit(3, "a")
+        assert len(trace.of("a")) == 2
+
+    def test_unsubscribe(self, trace):
+        got = []
+        trace.subscribe("a", got.append)
+        trace.unsubscribe("a", got.append)
+        trace.emit(1, "a")
+        assert got == []
+
+    def test_multiple_subscribers_all_called(self, trace):
+        got1, got2 = [], []
+        trace.subscribe("a", got1.append)
+        trace.subscribe("a", got2.append)
+        trace.emit(1, "a")
+        assert len(got1) == len(got2) == 1
+
+    def test_clear(self, trace):
+        trace.retain("a")
+        trace.emit(1, "a")
+        trace.clear()
+        assert trace.records == []
+
+    def test_record_is_frozen(self, trace):
+        rec = TraceRecord(1, "a", {"x": 1})
+        assert rec["x"] == 1
+        assert rec.time == 1

@@ -1,0 +1,99 @@
+"""The sweep framework."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweeps import Cell, Sweep
+
+
+def _linear(params, seed):
+    # Deterministic pseudo-measurement: value depends on params + seed.
+    return params["x"] * 10 + params.get("y", 0) + seed * 0.1
+
+
+class TestCell:
+    def test_mean_std(self):
+        c = Cell(params=(("x", 1),), values=(1.0, 2.0, 3.0))
+        assert c.mean == pytest.approx(2.0)
+        assert c.std == pytest.approx(1.0)
+        assert c.n == 3
+
+    def test_single_value_no_dispersion(self):
+        c = Cell(params=(), values=(5.0,))
+        assert c.std == 0.0
+        assert c.ci_halfwidth() == 0.0
+
+    def test_cv(self):
+        c = Cell(params=(), values=(9.0, 11.0))
+        assert c.cv == pytest.approx(c.std / 10.0)
+
+    def test_param_lookup(self):
+        c = Cell(params=(("x", 3), ("y", 4)), values=(0.0,))
+        assert c.param("y") == 4
+
+
+class TestSweep:
+    def test_grid_covers_cartesian_product(self):
+        sweep = Sweep(_linear, {"x": [1, 2], "y": [0, 5]}, seeds=(1,))
+        result = sweep.run()
+        assert len(result.cells) == 4
+
+    def test_cell_lookup(self):
+        result = Sweep(_linear, {"x": [1, 2]}, seeds=(1, 2)).run()
+        c = result.cell(x=2)
+        assert c.mean == pytest.approx(20.15)
+
+    def test_missing_cell_raises(self):
+        result = Sweep(_linear, {"x": [1]}, seeds=(1,)).run()
+        with pytest.raises(KeyError):
+            result.cell(x=99)
+
+    def test_series_along_axis(self):
+        result = Sweep(_linear, {"x": [1, 2, 3], "y": [7]}, seeds=(1,)).run()
+        pts = result.series("x", y=7)
+        assert [x for x, _ in pts] == [1, 2, 3]
+        assert pts[0][1] == pytest.approx(17.1)
+
+    def test_table_renders(self):
+        result = Sweep(_linear, {"x": [1]}, seeds=(1, 2)).run()
+        out = result.table("runtime").render()
+        assert "runtime_mean" in out and "ci95" in out
+
+    def test_progress_callback(self):
+        lines = []
+        Sweep(_linear, {"x": [1, 2]}, seeds=(1,)).run(progress=lines.append)
+        assert len(lines) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Sweep(_linear, {}, seeds=(1,))
+        with pytest.raises(ConfigurationError):
+            Sweep(_linear, {"x": []}, seeds=(1,))
+        with pytest.raises(ConfigurationError):
+            Sweep(_linear, {"x": [1]}, seeds=())
+
+    def test_max_cv(self):
+        result = Sweep(_linear, {"x": [1]}, seeds=(1, 2, 3)).run()
+        assert result.max_cv() > 0
+
+
+class TestSweepWithSimulator:
+    def test_real_scenario_end_to_end(self):
+        from repro.experiments.runner import run_single_vm
+        from repro.workloads.nas import NasBenchmark
+
+        def scenario(params, seed):
+            r = run_single_vm(
+                lambda: NasBenchmark.by_name("EP", scale=0.05),
+                scheduler=params["scheduler"],
+                online_rate=params["rate"], seed=seed)
+            return r.runtime_seconds
+
+        result = Sweep(scenario,
+                       {"scheduler": ["credit"], "rate": [1.0, 0.4]},
+                       seeds=(1, 2)).run()
+        fast = result.cell(scheduler="credit", rate=1.0).mean
+        slow = result.cell(scheduler="credit", rate=0.4).mean
+        assert slow > fast
+        # The paper's own variability criterion (Section 5.3).
+        assert result.max_cv() < 0.10

@@ -1,0 +1,129 @@
+"""Timeline reconstruction and the co-online metric."""
+
+import pytest
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.experiments.setup import weight_for_rate
+from repro.experiments.setup import Testbed as SimTestbed
+from repro.metrics.timeline import Segment, TimelineCollector
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.workloads.nas import NasBenchmark
+
+
+class TestSegmentBuilding:
+    def _collector(self):
+        sim = Simulator()
+        trace = TraceBus()
+        return sim, trace, TimelineCollector(trace, sim)
+
+    def test_occupy_then_vacate_makes_segment(self):
+        sim, trace, tl = self._collector()
+        trace.emit(10, "sched.switch", pcpu=0, vcpu="a/v0")
+        trace.emit(50, "sched.switch", pcpu=0, vcpu=None)
+        assert tl.segments == [Segment(0, "a/v0", 10, 50)]
+
+    def test_switch_closes_previous(self):
+        sim, trace, tl = self._collector()
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="a/v0")
+        trace.emit(30, "sched.switch", pcpu=0, vcpu="b/v0")
+        trace.emit(60, "sched.switch", pcpu=0, vcpu=None)
+        assert [s.vcpu for s in tl.pcpu_segments(0)] == ["a/v0", "b/v0"]
+        assert tl.pcpu_segments(0)[0].end == 30
+
+    def test_zero_length_segments_dropped(self):
+        sim, trace, tl = self._collector()
+        trace.emit(10, "sched.switch", pcpu=0, vcpu="a/v0")
+        trace.emit(10, "sched.switch", pcpu=0, vcpu=None)
+        assert tl.segments == []
+
+    def test_close_flushes_open_segments(self):
+        sim, trace, tl = self._collector()
+        trace.emit(0, "sched.switch", pcpu=1, vcpu="a/v0")
+        sim.at(100, lambda: None)
+        sim.run()
+        tl.close()
+        assert tl.segments == [Segment(1, "a/v0", 0, 100)]
+
+    def test_vcpu_intervals(self):
+        sim, trace, tl = self._collector()
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="a/v0")
+        trace.emit(10, "sched.switch", pcpu=0, vcpu=None)
+        trace.emit(20, "sched.switch", pcpu=1, vcpu="a/v0")
+        trace.emit(40, "sched.switch", pcpu=1, vcpu=None)
+        assert tl.vcpu_intervals("a/v0") == [(0, 10), (20, 40)]
+
+
+class TestConcurrencyProfile:
+    def _with_two_vcpus(self, spans0, spans1):
+        sim = Simulator()
+        trace = TraceBus()
+        tl = TimelineCollector(trace, sim)
+        for pcpu, name, spans in ((0, "a/v0", spans0), (1, "a/v1", spans1)):
+            for s, e in spans:
+                trace.emit(s, "sched.switch", pcpu=pcpu, vcpu=name)
+                trace.emit(e, "sched.switch", pcpu=pcpu, vcpu=None)
+        return tl
+
+    def test_full_overlap(self):
+        tl = self._with_two_vcpus([(0, 100)], [(0, 100)])
+        assert tl.co_online_fraction("a") == pytest.approx(1.0)
+        assert tl.concurrency_profile("a") == {2: 100}
+
+    def test_no_overlap(self):
+        tl = self._with_two_vcpus([(0, 100)], [(100, 200)])
+        assert tl.co_online_fraction("a") == 0.0
+        assert tl.concurrency_profile("a") == {1: 200}
+
+    def test_partial_overlap(self):
+        tl = self._with_two_vcpus([(0, 100)], [(50, 150)])
+        profile = tl.concurrency_profile("a")
+        assert profile == {1: 100, 2: 50}
+        assert tl.co_online_fraction("a") == pytest.approx(50 / 150)
+
+    def test_unknown_vm_zero(self):
+        tl = self._with_two_vcpus([(0, 10)], [(0, 10)])
+        assert tl.co_online_fraction("ghost") == 0.0
+
+
+class TestGantt:
+    def test_renders_rows_and_legend(self):
+        sim = Simulator()
+        trace = TraceBus()
+        tl = TimelineCollector(trace, sim)
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="a/v0")
+        trace.emit(50, "sched.switch", pcpu=0, vcpu=None)
+        out = tl.gantt(0, 100, width=20)
+        assert "P0 |" in out
+        assert "a=a/v0" in out
+        assert "a" * 5 in out  # roughly half the row filled
+
+    def test_empty_window(self):
+        sim = Simulator()
+        trace = TraceBus()
+        tl = TimelineCollector(trace, sim)
+        assert "(empty window)" in tl.gantt(10, 10)
+
+
+class TestCoschedulingMeasured:
+    """The headline use: gang scheduling raises the co-online fraction."""
+
+    def _run(self, scheduler, concurrent):
+        tb = SimTestbed(scheduler=scheduler, seed=1,
+                        sched_config=SchedulerConfig(work_conserving=False))
+        tl = TimelineCollector(tb.trace, tb.sim)
+        tb.add_domain0()
+        tb.add_vm("V1", weight=weight_for_rate(2 / 9),
+                  workload=NasBenchmark.by_name("LU", scale=0.3),
+                  concurrent_hint=concurrent)
+        tb.run_until_workloads_done(["V1"],
+                                    deadline_cycles=units.seconds(120))
+        tl.close()
+        return tl.co_online_fraction("V1", parties=4)
+
+    def test_static_coscheduler_raises_co_online(self):
+        credit = self._run("credit", concurrent=False)
+        con = self._run("con", concurrent=True)
+        assert con > credit
+        assert con > 0.5  # a gang scheduler keeps the gang together

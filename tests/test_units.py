@@ -1,0 +1,65 @@
+"""Units and conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_cpu_frequency_is_paper_testbed(self):
+        # Xeon X5410: 2.33 GHz.
+        assert units.CPU_HZ == 2_330_000_000
+
+    def test_ms_roundtrip(self):
+        assert units.to_ms(units.ms(30)) == pytest.approx(30.0)
+
+    def test_us_is_thousandth_of_ms(self):
+        assert units.us(1000) == units.ms(1)
+
+    def test_seconds_roundtrip(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+
+    def test_ms_truncates_to_integer_cycles(self):
+        assert isinstance(units.ms(0.1), int)
+
+    def test_zero_is_zero(self):
+        assert units.ms(0) == 0
+        assert units.us(0) == 0
+        assert units.seconds(0) == 0
+
+    def test_cycles_per_second_consistency(self):
+        assert units.CYCLES_PER_S == units.CPU_HZ
+        assert units.CYCLES_PER_MS * 1000 == units.CPU_HZ
+        assert units.CYCLES_PER_US * 1_000_000 <= units.CPU_HZ
+
+
+class TestLog2Cycles:
+    def test_exact_powers(self):
+        assert units.log2_cycles(1024) == pytest.approx(10.0)
+        assert units.log2_cycles(1 << 20) == pytest.approx(20.0)
+
+    def test_monotone_between_powers(self):
+        a = units.log2_cycles(1500)
+        assert 10.0 < a < 11.0
+
+    def test_zero_and_negative_clamped(self):
+        assert units.log2_cycles(0) == 0.0
+        assert units.log2_cycles(-5) == 0.0
+
+    def test_one(self):
+        assert units.log2_cycles(1) == pytest.approx(0.0)
+
+
+class TestThresholds:
+    def test_delta_is_twenty(self):
+        # Paper Section 4.2: delta = 20.
+        assert units.DELTA_EXP == 20
+        assert units.OVER_THRESHOLD_CYCLES == 2 ** 20
+
+    def test_measure_floor_is_two_to_ten(self):
+        assert units.MEASURE_FLOOR_CYCLES == 2 ** 10
+
+    def test_over_threshold_is_submillisecond(self):
+        # 2^20 cycles at 2.33 GHz is ~0.45 ms: long waits are detectable
+        # well before one scheduling tick.
+        assert units.to_ms(units.OVER_THRESHOLD_CYCLES) < 1.0

@@ -1,0 +1,108 @@
+"""VM hot-plug and destroy (consolidation churn)."""
+
+import pytest
+
+from repro import units
+from repro.config import SchedulerConfig
+from repro.errors import ConfigurationError
+from repro.experiments.setup import Testbed as SimTestbed
+from repro.vmm.vm import VCPUState
+from repro.workloads.nas import NasBenchmark
+from repro.workloads.speccpu import SpecCpuRateWorkload
+
+
+class TestHotplug:
+    def test_add_vm_after_start(self):
+        tb = SimTestbed(num_pcpus=4)
+        tb.add_vm("V1", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("176.gcc",
+                                                       scale=0.2))
+        tb.run_for(units.ms(20))
+        tb.add_vm("V2", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("176.gcc",
+                                                       scale=0.05))
+        ok = tb.run_until_workloads_done(["V2"],
+                                         deadline_cycles=units.seconds(30))
+        assert ok
+        tb.scheduler.check_invariants()
+
+    def test_late_vm_gets_fair_share(self):
+        tb = SimTestbed(num_pcpus=2,
+                        sched_config=SchedulerConfig(work_conserving=True))
+        tb.add_vm("V1", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("256.bzip2",
+                                                       scale=3.0))
+        tb.run_for(units.ms(50))
+        tb.add_vm("V2", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("256.bzip2",
+                                                       scale=3.0))
+        mark = tb.sim.now
+        v2_before = tb.vms["V2"].cpu_time()
+        tb.run_for(units.seconds(1))
+        share = (tb.vms["V2"].cpu_time() - v2_before) \
+            / ((tb.sim.now - mark) * 2)
+        assert share == pytest.approx(0.5, abs=0.1)
+
+
+class TestDestroy:
+    def test_remove_frees_capacity(self):
+        tb = SimTestbed(num_pcpus=2,
+                        sched_config=SchedulerConfig(work_conserving=True))
+        tb.add_vm("V1", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("256.bzip2",
+                                                       scale=3.0))
+        tb.add_vm("V2", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("256.bzip2",
+                                                       scale=3.0))
+        tb.run_for(units.ms(200))
+        removed = tb.remove_vm("V2")
+        assert removed.destroyed
+        assert all(v.state is VCPUState.BLOCKED for v in removed.vcpus)
+        tb.scheduler.check_invariants()
+        mark = tb.sim.now
+        v1_before = tb.vms["V1"].cpu_time()
+        tb.run_for(units.seconds(1))
+        share = (tb.vms["V1"].cpu_time() - v1_before) \
+            / ((tb.sim.now - mark) * 2)
+        assert share > 0.9  # the survivor takes the whole machine
+
+    def test_destroyed_vm_timers_are_inert(self):
+        tb = SimTestbed(num_pcpus=4)
+        tb.add_vm("V1", num_vcpus=4,
+                  workload=NasBenchmark.by_name("EP", scale=0.05,
+                                                rounds=5))
+        tb.run_for(units.ms(30))
+        removed = tb.remove_vm("V1")
+        # The guest's IRQ daemon keeps firing sim timers; they must not
+        # resurrect the destroyed VM.
+        tb.run_for(units.ms(100))
+        assert all(v.state is VCPUState.BLOCKED for v in removed.vcpus)
+        tb.scheduler.check_invariants()
+
+    def test_remove_unknown_vm_rejected(self):
+        tb = SimTestbed()
+        with pytest.raises(ConfigurationError):
+            tb.remove_vm("ghost")
+
+    def test_remove_unregistered_vm_rejected(self):
+        tb = SimTestbed()
+        vm = tb.add_vm("V1", num_vcpus=1)
+        tb.remove_vm("V1")
+        with pytest.raises(ConfigurationError):
+            tb.scheduler.remove_vm(vm)  # already gone
+
+    def test_churn_loop(self):
+        """Repeated add/remove cycles stay invariant-clean."""
+        tb = SimTestbed(num_pcpus=4)
+        tb.add_vm("base", num_vcpus=2,
+                  workload=SpecCpuRateWorkload.by_name("256.bzip2",
+                                                       scale=3.0))
+        tb.start()
+        for i in range(5):
+            tb.add_vm(f"tmp{i}", num_vcpus=2,
+                      workload=SpecCpuRateWorkload.by_name(
+                          "176.gcc", scale=0.5))
+            tb.run_for(units.ms(70))
+            tb.remove_vm(f"tmp{i}")
+            tb.run_for(units.ms(30))
+            tb.scheduler.check_invariants()

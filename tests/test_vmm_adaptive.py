@@ -1,0 +1,232 @@
+"""The Adaptive Scheduler (ASMan) and the static coscheduler (CON)."""
+
+import pytest
+
+from repro import units
+from repro.config import MachineConfig, SchedulerConfig, VMConfig
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import Compute
+from repro.hardware.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.adaptive import AdaptiveScheduler
+from repro.vmm.coschedule import StaticCoscheduler
+from repro.vmm.vm import VCRD, VCPUState, VM
+from tests.conftest import quiet_guest_config
+
+
+def build(scheduler_cls=AdaptiveScheduler, num_pcpus=8, wc=True,
+          vms=(("a", 4, 256),)):
+    sim = Simulator()
+    trace = TraceBus()
+    machine = Machine(MachineConfig(num_pcpus=num_pcpus, sockets=1), sim)
+    sched = scheduler_cls(machine, sim, trace,
+                          SchedulerConfig(work_conserving=wc))
+    out = []
+    for i, (name, nv, weight) in enumerate(vms):
+        vm = VM(i, VMConfig(name=name, num_vcpus=nv, weight=weight,
+                            guest=quiet_guest_config()), sim, trace)
+        sched.add_vm(vm)
+        out.append(vm)
+    return sim, trace, machine, sched, out
+
+
+def busy_guest(vm, sim, trace, seconds=5.0):
+    k = GuestKernel(vm, sim, trace, quiet_guest_config())
+    for i in range(len(vm.vcpus)):
+        k.spawn(f"{vm.name}.t{i}", iter([Compute(units.seconds(seconds))]), i)
+    return k
+
+
+class TestRelocation:
+    def test_relocate_spreads_stacked_vcpus(self):
+        sim, trace, machine, sched, (a,) = build()
+        # Stack all four VCPUs onto pcpu 0's runq.
+        for v in a.vcpus[1:]:
+            sched._move_to_runq(v, 0)
+        sched.relocate(a)
+        homes = sorted(v.home_pcpu_id for v in a.vcpus)
+        assert len(set(homes)) == 4
+
+    def test_relocate_counts_moves(self):
+        sim, trace, machine, sched, (a,) = build()
+        for v in a.vcpus[1:]:
+            sched._move_to_runq(v, 0)
+        sched.relocate(a)
+        assert sched.relocations == 3
+
+    def test_relocate_noop_when_already_spread(self):
+        sim, trace, machine, sched, (a,) = build()
+        sched.relocate(a)
+        assert sched.relocations == 0
+
+    def test_vcrd_high_triggers_relocation(self):
+        sim, trace, machine, sched, (a,) = build()
+        busy_guest(a, sim, trace)
+        for v in a.vcpus[1:]:
+            sched._move_to_runq(v, 0)
+        a.set_vcrd(VCRD.HIGH)
+        homes = set()
+        for v in a.vcpus:
+            homes.add(v.pcpu.id if v.is_online else v.home_pcpu_id)
+        assert len(homes) == 4
+
+
+class TestMigrationFilter:
+    def test_forbids_colocating_cosched_vm(self):
+        sim, trace, machine, sched, (a,) = build()
+        a.vcrd = VCRD.HIGH  # flag only; keep VCPUs RUNNABLE in their runqs
+        v = a.vcpus[0]
+        sibling_home = a.vcpus[1].home_pcpu_id
+        assert not sched.may_migrate(v, machine[sibling_home])
+
+    def test_allows_free_pcpu(self):
+        sim, trace, machine, sched, (a,) = build()
+        a.vcrd = VCRD.HIGH
+        assert sched.may_migrate(a.vcpus[0], machine[7])
+
+    def test_no_filter_when_vcrd_low(self):
+        sim, trace, machine, sched, (a,) = build()
+        assert sched.may_migrate(a.vcpus[0],
+                                 machine[a.vcpus[1].home_pcpu_id])
+
+
+class TestCoschedulingFanout:
+    def test_high_vcrd_brings_gang_online(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(25))
+        a.set_vcrd(VCRD.HIGH)
+        # The fan-out launches when one member is next picked (a tick away
+        # at most, Algorithm 4), then IPIs bring the rest online.
+        online_counts = []
+        for _ in range(30):
+            sim.run_until(sim.now + units.ms(1))
+            online_counts.append(sum(1 for v in a.vcpus if v.is_online))
+        assert max(online_counts) == 4  # the whole gang was online together
+
+    def test_cosched_trace_emitted(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        got = []
+        trace.subscribe("sched.cosched", got.append)
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(25))
+        a.set_vcrd(VCRD.HIGH)
+        sim.run_until(sim.now + units.ms(30))
+        assert got
+        assert got[0]["vm"] == "a"
+
+    def test_launch_counter(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(25))
+        a.set_vcrd(VCRD.HIGH)
+        sim.run_until(units.ms(60))
+        assert sched.cosched_launches >= 1
+        assert sched.ipi.sent >= 1
+
+    def test_cooldown_limits_launch_rate(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        a.set_vcrd(VCRD.HIGH)
+        sim.run_until(units.ms(100))
+        max_launches = 100 // units.to_ms(
+            sched.config.cosched_cooldown_cycles) + 2
+        assert sched.cosched_launches <= max_launches
+
+    def test_no_fanout_for_low_vcrd(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(100))
+        assert sched.cosched_launches == 0
+
+    def test_vcrd_low_clears_gang(self):
+        sim, trace, machine, sched, (a, b) = build(
+            num_pcpus=4, vms=[("a", 4, 256), ("b", 4, 256)])
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(25))
+        a.set_vcrd(VCRD.HIGH)
+        sim.run_until(units.ms(30))
+        a.set_vcrd(VCRD.LOW)
+        assert a.id not in sched._gang_until
+        assert all(not v.boosted for v in a.vcpus)
+
+
+class TestGangParking:
+    def test_gang_parks_and_unparks_together(self):
+        sim, trace, machine, sched, (a, d0) = build(
+            num_pcpus=8, wc=False, vms=[("a", 4, 32), ("d0", 8, 256)])
+        busy_guest(a, sim, trace, seconds=20)
+        a.set_vcrd(VCRD.HIGH)
+        sched.start()
+        states = []
+        for step in range(1, 40):
+            sim.run_until(units.ms(step * 10))
+            states.append(tuple(v.parked for v in a.vcpus))
+        # At every observation all four were parked or none were.
+        for snapshot in states:
+            assert len(set(snapshot)) == 1
+
+    def test_per_vcpu_parking_when_low(self):
+        sim, trace, machine, sched, (a, d0) = build(
+            num_pcpus=8, wc=False, vms=[("a", 4, 32), ("d0", 8, 256)])
+        busy_guest(a, sim, trace, seconds=20)
+        sched.start()
+        sim.run_until(units.seconds(1))
+        # LOW VCRD: the base per-VCPU rule applies; long-run rate matches
+        # the weight entitlement (22.2%).
+        rate = sum(v.online_rate() for v in a.vcpus) / 4
+        assert rate == pytest.approx(2 / 9, abs=0.05)
+
+    def test_gang_rate_matches_entitlement(self):
+        sim, trace, machine, sched, (a, d0) = build(
+            num_pcpus=8, wc=False, vms=[("a", 4, 32), ("d0", 8, 256)])
+        busy_guest(a, sim, trace, seconds=20)
+        a.set_vcrd(VCRD.HIGH)
+        sched.start()
+        sim.run_until(units.seconds(2))
+        rate = sum(v.online_rate() for v in a.vcpus) / 4
+        # Coscheduling must not grant extra time (cap preserved).
+        assert rate == pytest.approx(2 / 9, abs=0.05)
+
+
+class TestStaticCoscheduler:
+    def test_wants_cosched_follows_hint(self):
+        sim, trace, machine, sched, (a, b) = build(
+            StaticCoscheduler, vms=[("a", 4, 256), ("b", 4, 256)])
+        a.concurrent_hint = True
+        assert sched._wants_cosched(a)
+        assert not sched._wants_cosched(b)
+
+    def test_ignores_vcrd(self):
+        sim, trace, machine, sched, (a,) = build(StaticCoscheduler)
+        a.set_vcrd(VCRD.HIGH)  # monitoring module talking to CON
+        assert not sched._wants_cosched(a)  # hint not set -> not concurrent
+
+    def test_concurrent_vm_gets_fanouts_without_vcrd(self):
+        sim, trace, machine, sched, (a, b) = build(
+            StaticCoscheduler, num_pcpus=4,
+            vms=[("a", 4, 256), ("b", 4, 256)])
+        a.concurrent_hint = True
+        busy_guest(a, sim, trace)
+        busy_guest(b, sim, trace)
+        sched.start()
+        sim.run_until(units.ms(100))
+        assert sched.cosched_launches >= 1

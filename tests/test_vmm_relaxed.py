@@ -1,0 +1,134 @@
+"""The relaxed (skew-bounded) coscheduler."""
+
+import pytest
+
+from repro import units
+from repro.config import MachineConfig, SchedulerConfig, VMConfig
+from repro.guest.kernel import GuestKernel
+from repro.guest.ops import Compute
+from repro.hardware.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.relaxed import RelaxedCoscheduler
+from repro.vmm.vm import VCRD, VM
+from tests.conftest import quiet_guest_config
+
+
+def build(num_pcpus=4, skew_bound=units.ms(3), vms=(("a", 2, 256),)):
+    sim = Simulator()
+    trace = TraceBus()
+    machine = Machine(MachineConfig(num_pcpus=num_pcpus, sockets=1), sim)
+    sched = RelaxedCoscheduler(machine, sim, trace,
+                               SchedulerConfig(work_conserving=True),
+                               skew_bound=skew_bound)
+    out = []
+    for i, (name, nv, weight) in enumerate(vms):
+        vm = VM(i, VMConfig(name=name, num_vcpus=nv, weight=weight,
+                            guest=quiet_guest_config()), sim, trace)
+        sched.add_vm(vm)
+        out.append(vm)
+    return sim, trace, sched, out
+
+
+def busy(vm, sim, trace, seconds=5.0):
+    k = GuestKernel(vm, sim, trace, quiet_guest_config())
+    for i in range(len(vm.vcpus)):
+        k.spawn(f"{vm.name}.t{i}", iter([Compute(units.seconds(seconds))]), i)
+    return k
+
+
+class TestSkewPolicy:
+    def test_non_concurrent_vm_unconstrained(self):
+        sim, trace, sched, (a,) = build()
+        a.concurrent_hint = False
+        a.vcpus[0].online_cycles = units.ms(100)  # huge artificial skew
+        assert sched.eligible(a.vcpus[0])
+
+    def test_leader_beyond_bound_ineligible(self):
+        sim, trace, sched, (a,) = build()
+        a.concurrent_hint = True
+        a.vcpus[0].online_cycles = units.ms(10)
+        a.vcpus[1].online_cycles = 0
+        assert not sched.eligible(a.vcpus[0])
+        assert sched.eligible(a.vcpus[1])
+
+    def test_blocked_sibling_not_a_laggard(self):
+        sim, trace, sched, (a,) = build()
+        k = GuestKernel(a, sim, trace, quiet_guest_config())
+        a.concurrent_hint = True
+        a.vcpus[0].online_cycles = units.ms(10)
+        # vcpu1 blocked in the guest: its lack of progress must not stop
+        # vcpu0 (it is idle, not behind).
+        sched.start()
+        sim.run_until(units.ms(1))  # empty guest blocks both
+        assert sched.eligible(a.vcpus[0])
+
+    def test_laggard_gets_priority_lift(self):
+        sim, trace, sched, (a,) = build()
+        a.concurrent_hint = True
+        a.vcpus[0].online_cycles = units.ms(10)
+        lead_key = sched._key(a.vcpus[0])
+        lag_key = sched._key(a.vcpus[1])
+        assert lag_key < lead_key
+
+    def test_single_vcpu_vm_never_constrained(self):
+        sim, trace, sched, (a,) = build(vms=(("a", 1, 256),))
+        a.concurrent_hint = True
+        a.vcpus[0].online_cycles = units.ms(100)
+        assert sched.eligible(a.vcpus[0])
+
+    def test_ignores_vcrd(self):
+        sim, trace, sched, (a,) = build()
+        a.set_vcrd(VCRD.HIGH)  # no crash, no effect
+        assert a.vcrd is VCRD.HIGH
+
+
+class TestSkewBoundedExecution:
+    def test_progress_stays_within_bound(self):
+        # Two 2-VCPU VMs on 2 PCPUs: contention forces interleaving; the
+        # concurrent VM's skew must stay around the bound.
+        bound = units.ms(4)
+        sim, trace, sched, (a, b) = build(
+            num_pcpus=2, skew_bound=bound,
+            vms=(("a", 2, 256), ("b", 2, 256)))
+        a.concurrent_hint = True
+        busy(a, sim, trace)
+        busy(b, sim, trace)
+        sched.start()
+        worst = 0
+        for step in range(1, 60):
+            sim.run_until(units.ms(step * 5))
+            progress = [sched._progress(v) for v in a.vcpus]
+            worst = max(worst, max(progress) - min(progress))
+        # Slack: a leader may overshoot by up to a tick before the veto
+        # takes effect.
+        assert worst <= bound + units.ms(11)
+
+    def test_workload_completes(self):
+        sim, trace, sched, (a, b) = build(
+            num_pcpus=2, vms=(("a", 2, 256), ("b", 2, 256)))
+        a.concurrent_hint = True
+        ka = busy(a, sim, trace, seconds=0.05)
+        kb = busy(b, sim, trace, seconds=0.05)
+        sched.start()
+        done = sim.run_until_true(
+            lambda: ka.finished and kb.finished,
+            deadline=units.seconds(5))
+        assert done
+
+    def test_skew_stops_counted(self):
+        sim, trace, sched, (a, b) = build(
+            num_pcpus=2, skew_bound=units.ms(1),
+            vms=(("a", 2, 256), ("b", 2, 256)))
+        a.concurrent_hint = True
+        busy(a, sim, trace)
+        busy(b, sim, trace)
+        # Seed an existing imbalance: vcpu0 is already 5 ms ahead.
+        a.vcpus[0].online_cycles += units.ms(5)
+        sched.start()
+        sim.run_until(units.ms(300))
+        assert sched.skew_stops > 0
+
+    def test_registered_in_experiment_setup(self):
+        from repro.experiments.setup import make_scheduler
+        assert make_scheduler("relaxed") is RelaxedCoscheduler

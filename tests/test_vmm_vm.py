@@ -1,0 +1,168 @@
+"""VCPU/VM state machines and the hypercall table."""
+
+import pytest
+
+from repro import units
+from repro.config import VMConfig
+from repro.errors import ConfigurationError, SchedulerInvariantError
+from repro.vmm.hypercall import HYPERCALL_VCRD_OP, HypercallTable
+from repro.vmm.vm import VCRD, VCPUState, VM
+from tests.conftest import Harness
+
+
+class _InertGuest:
+    """Guest that neither blocks nor resumes — pure-state-machine tests."""
+
+    def on_online(self, vcpu):
+        pass
+
+    def on_offline(self, vcpu):
+        pass
+
+
+@pytest.fixture
+def vm(sim, trace):
+    machine = VM(0, VMConfig(name="v", num_vcpus=2), sim, trace)
+    machine.guest = _InertGuest()
+    return machine
+
+
+class TestVCPUStates:
+    def test_initial_state_runnable(self, vm):
+        assert all(v.state is VCPUState.RUNNABLE for v in vm.vcpus)
+
+    def test_start_running(self, vm, machine):
+        v = vm.vcpus[0]
+        v.start_running(machine[0])
+        assert v.state is VCPUState.RUNNING
+        assert v.is_online
+        assert v.pcpu is machine[0]
+
+    def test_double_start_rejected(self, vm, machine):
+        v = vm.vcpus[0]
+        v.start_running(machine[0])
+        with pytest.raises(SchedulerInvariantError):
+            v.start_running(machine[1])
+
+    def test_stop_running(self, vm, machine):
+        v = vm.vcpus[0]
+        v.start_running(machine[0])
+        v.stop_running()
+        assert v.state is VCPUState.RUNNABLE
+        assert v.pcpu is None
+        assert v.preemptions == 1
+
+    def test_stop_when_not_running_rejected(self, vm):
+        with pytest.raises(SchedulerInvariantError):
+            vm.vcpus[0].stop_running()
+
+    def test_cannot_run_blocked_vcpu(self, harness, machine):
+        # Use the harness VM whose scheduler plumbing exists.
+        v = harness.vm.vcpus[0]
+        v.block()
+        with pytest.raises(SchedulerInvariantError):
+            v.start_running(machine[0])
+
+    def test_online_accounting(self, sim, trace, machine):
+        vm = VM(0, VMConfig(name="v", num_vcpus=1), sim, trace)
+        vm.guest = _InertGuest()
+        v = vm.vcpus[0]
+        sim.at(100, lambda: v.start_running(machine[0]))
+        sim.at(400, lambda: v.stop_running())
+        sim.run()
+        sim.at(1000, lambda: None)
+        sim.run()
+        assert v.online_cycles == 300
+        assert v.online_rate() == pytest.approx(0.3)
+
+    def test_wake_boost_cleared_on_preemption(self, vm, machine):
+        v = vm.vcpus[0]
+        v.wake_boost = True
+        v.start_running(machine[0])
+        v.stop_running()
+        assert not v.wake_boost
+
+    def test_name(self, vm):
+        assert vm.vcpus[1].name == "v/v1"
+
+
+class TestVMBlockWake:
+    def test_block_and_wake_via_scheduler(self):
+        h = Harness(num_pcpus=2, num_vcpus=1)
+        v = h.vm.vcpus[0]
+        h.start()
+        # The null... guest kernel has no tasks: on first online it blocks.
+        h.sim.run_until(units.ms(1))
+        assert v.state is VCPUState.BLOCKED
+
+    def test_wake_noop_unless_blocked(self, vm):
+        v = vm.vcpus[0]
+        before = v.state
+        v.wake()  # RUNNABLE: no-op
+        assert v.state is before
+
+    def test_block_idempotent(self, harness):
+        v = harness.vm.vcpus[0]
+        v.block()
+        v.block()
+        assert v.state is VCPUState.BLOCKED
+
+
+class TestVM:
+    def test_vcrd_defaults_low(self, vm):
+        assert vm.vcrd is VCRD.LOW
+
+    def test_set_vcrd_emits_trace(self, harness):
+        got = []
+        harness.trace.subscribe("vcrd.change", got.append)
+        harness.vm.set_vcrd(VCRD.HIGH)
+        assert len(got) == 1
+        assert got[0]["vcrd"] == "high"
+        assert harness.vm.vcrd_changes == 1
+
+    def test_set_vcrd_same_value_is_noop(self, harness):
+        got = []
+        harness.trace.subscribe("vcrd.change", got.append)
+        harness.vm.set_vcrd(VCRD.LOW)
+        assert got == []
+
+    def test_cpu_time_sums_vcpus(self, sim, trace, machine):
+        vm = VM(0, VMConfig(name="v", num_vcpus=2), sim, trace)
+        vm.guest = _InertGuest()
+        sim.at(0, lambda: vm.vcpus[0].start_running(machine[0]))
+        sim.at(100, lambda: vm.vcpus[0].stop_running())
+        sim.run()
+        assert vm.cpu_time() == 100
+
+    def test_online_vcpus(self, vm, machine):
+        assert vm.online_vcpus() == []
+        vm.vcpus[0].start_running(machine[0])
+        assert vm.online_vcpus() == [vm.vcpus[0]]
+
+
+class TestHypercalls:
+    def test_do_vcrd_op_updates_vm(self, harness):
+        table = HypercallTable(harness.sim, harness.trace)
+        assert table.do_vcrd_op(harness.vm, VCRD.HIGH) == 0
+        assert harness.vm.vcrd is VCRD.HIGH
+
+    def test_invocation_counted(self, harness):
+        table = HypercallTable(harness.sim, harness.trace)
+        table.do_vcrd_op(harness.vm, VCRD.HIGH)
+        table.do_vcrd_op(harness.vm, VCRD.LOW)
+        assert table.invocations[HYPERCALL_VCRD_OP] == 2
+
+    def test_unknown_hypercall_rejected(self, sim, trace):
+        table = HypercallTable(sim, trace)
+        with pytest.raises(ConfigurationError):
+            table.call(9999)
+
+    def test_bad_vcrd_value_rejected(self, harness):
+        table = HypercallTable(harness.sim, harness.trace)
+        with pytest.raises(ConfigurationError):
+            table.do_vcrd_op(harness.vm, "high")
+
+    def test_custom_hypercall_registration(self, sim, trace):
+        table = HypercallTable(sim, trace)
+        table.register(60, lambda x: x * 2)
+        assert table.call(60, 21) == 42

@@ -1,0 +1,131 @@
+"""Trace-driven workloads (JSON replay)."""
+
+import json
+
+import pytest
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.guest.ops import BarrierOp, Compute, Critical, Sleep
+from repro.workloads.trace import (TraceWorkload, decode_op, dump_trace,
+                                   encode_op, load_trace, load_trace_file)
+from tests.conftest import Harness
+
+
+def minimal_doc(**over):
+    doc = {
+        "name": "demo",
+        "threads": [
+            {"vcpu": 0, "ops": [{"op": "compute", "cycles": 10_000}]},
+        ],
+    }
+    doc.update(over)
+    return doc
+
+
+class TestOpCodec:
+    @pytest.mark.parametrize("record,expected_type", [
+        ({"op": "compute", "cycles": 5}, Compute),
+        ({"op": "critical", "lock": "L", "hold": 7}, Critical),
+        ({"op": "barrier", "barrier": "B"}, BarrierOp),
+        ({"op": "sleep", "cycles": 9}, Sleep),
+    ])
+    def test_decode_kinds(self, record, expected_type):
+        assert isinstance(decode_op(record), expected_type)
+
+    def test_decode_unknown_kind(self):
+        with pytest.raises(WorkloadError):
+            decode_op({"op": "teleport"})
+
+    def test_decode_missing_field(self):
+        with pytest.raises(WorkloadError):
+            decode_op({"op": "critical", "lock": "L"})
+
+    def test_roundtrip_all_kinds(self):
+        from repro.guest.ops import (FlagSet, FlagWait, SemDown, SemUp)
+        ops = [Compute(5), Critical("L", 7), BarrierOp("B"),
+               FlagSet("F", 2), FlagWait("F", 2), SemDown("S"),
+               SemUp("S"), Sleep(9)]
+        for op in ops:
+            assert decode_op(encode_op(op)) == op
+
+
+class TestLoadValidation:
+    def test_minimal_loads(self):
+        wl = load_trace(json.dumps(minimal_doc()))
+        assert wl.name == "trace.demo"
+        assert wl.num_threads == 1
+
+    def test_invalid_json(self):
+        with pytest.raises(WorkloadError):
+            load_trace("{nope")
+
+    def test_non_object_root(self):
+        with pytest.raises(WorkloadError):
+            load_trace("[1, 2]")
+
+    def test_missing_name(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(minimal_doc(name=""))
+
+    def test_empty_threads(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(minimal_doc(threads=[]))
+
+    def test_thread_without_ops(self):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(minimal_doc(threads=[{"vcpu": 0, "ops": []}]))
+
+    def test_undeclared_barrier_rejected_at_install(self, rng):
+        doc = minimal_doc(threads=[
+            {"vcpu": 0, "ops": [{"op": "barrier", "barrier": "B"}]}])
+        wl = TraceWorkload(doc)
+        h = Harness()
+        with pytest.raises(WorkloadError):
+            wl.install(h.kernel, rng)
+
+
+class TestExecution:
+    def test_runs_to_completion(self, rng):
+        doc = {
+            "name": "two",
+            "threads": [
+                {"vcpu": 0, "ops": [
+                    {"op": "compute", "cycles": units.us(200)},
+                    {"op": "barrier", "barrier": "B"}]},
+                {"vcpu": 1, "ops": [
+                    {"op": "compute", "cycles": units.us(100)},
+                    {"op": "barrier", "barrier": "B"}]},
+            ],
+            "barriers": {"B": 2},
+            "repeat": 3,
+        }
+        wl = TraceWorkload(doc)
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=2000)
+        assert wl.rounds_completed() == 3
+        assert h.kernel.barriers["B"].crossings == 3
+
+    def test_dump_then_load_runs(self, rng, tmp_path):
+        text = dump_trace(
+            "rt", [[Compute(units.us(50)), Critical("L", 2000)],
+                   [Compute(units.us(60)), Critical("L", 2000)]])
+        path = tmp_path / "trace.json"
+        path.write_text(text)
+        wl = load_trace_file(path)
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=2000)
+        assert h.kernel.locks["L"].acquisitions == 2
+
+    def test_round_robin_vcpu_when_null(self, rng):
+        doc = minimal_doc(threads=[
+            {"vcpu": None, "ops": [{"op": "compute", "cycles": 100}]},
+            {"vcpu": None, "ops": [{"op": "compute", "cycles": 100}]},
+        ])
+        wl = TraceWorkload(doc)
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        tasks = [t for t in h.kernel.tasks if not t.daemon]
+        assert {t.vcpu.index for t in tasks} == {0, 1}

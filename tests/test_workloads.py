@@ -1,0 +1,235 @@
+"""Workload models: NAS, SPECjbb, SPEC CPU rate, synthetic."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import WorkloadError
+from repro.guest.ops import BarrierOp, Compute, Critical, FlagWait
+from repro.workloads.base import Workload, jittered
+from repro.workloads.nas import NAS_PROFILES, NasBenchmark
+from repro.workloads.specjbb import SpecJbbWorkload
+from repro.workloads.speccpu import SPEC_CPU_PROFILES, SpecCpuRateWorkload
+from repro.workloads.synthetic import PhaseSpec, SyntheticWorkload
+from tests.conftest import Harness
+
+
+class TestJittered:
+    def test_zero_cv_returns_mean(self, rng):
+        assert jittered(rng, 1000, 0.0) == 1000
+
+    def test_mean_preserved(self, rng):
+        draws = [jittered(rng, 10_000, 0.3) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(10_000, rel=0.05)
+
+    def test_always_positive(self, rng):
+        assert all(jittered(rng, 100, 2.0) >= 1 for _ in range(200))
+
+    def test_zero_mean_is_zero(self, rng):
+        assert jittered(rng, 0, 0.5) == 0
+
+
+class TestNasProfiles:
+    def test_all_seven_benchmarks_present(self):
+        assert set(NAS_PROFILES) == {"BT", "CG", "EP", "FT", "MG", "SP", "LU"}
+
+    def test_lu_is_most_synchronising(self):
+        lu = NAS_PROFILES["LU"]
+        ep = NAS_PROFILES["EP"]
+        assert lu.pipeline_sweeps > 0
+        assert ep.criticals_per_iter == 0
+        assert lu.sync_ops_total > ep.sync_ops_total
+
+    def test_comparable_total_compute(self):
+        """All profiles target a similar base runtime (~1.2 s)."""
+        totals = [p.total_compute for p in NAS_PROFILES.values()]
+        assert max(totals) / min(totals) < 1.6
+
+    def test_scaled_reduces_iterations(self):
+        p = NAS_PROFILES["LU"].scaled(0.1)
+        assert p.iterations == 25
+        assert p.compute_per_iter == NAS_PROFILES["LU"].compute_per_iter
+
+    def test_by_name_rejects_unknown(self):
+        with pytest.raises(WorkloadError):
+            NasBenchmark.by_name("ZZ")
+
+    def test_by_name_case_insensitive(self):
+        assert NasBenchmark.by_name("lu").profile.name == "LU"
+
+
+class TestNasExecution:
+    def test_ep_program_structure(self, rng):
+        wl = NasBenchmark.by_name("EP", scale=0.5)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert len([t for t in h.kernel.tasks if not t.daemon]) == 4
+        assert f"{wl.name}.bar" in h.kernel.barriers
+
+    def test_lu_declares_pipeline_flags(self, rng):
+        wl = NasBenchmark.by_name("LU", scale=0.02)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=5000)
+        # Pipeline flags were created and exercised by the run.
+        assert any(name.startswith("nas.lu.pipe")
+                   for name in h.kernel.flags)
+
+    def test_runs_to_completion_and_rounds(self, rng):
+        wl = NasBenchmark.by_name("CG", scale=0.02, rounds=2)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=5000)
+        assert wl.rounds_completed() == 2
+        assert wl.round_complete_time(1) > wl.round_complete_time(0)
+
+    def test_too_many_threads_rejected(self, rng):
+        wl = NasBenchmark.by_name("LU")
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        with pytest.raises(WorkloadError):
+            wl.install(h.kernel, rng)
+
+    def test_double_install_rejected(self, rng):
+        wl = NasBenchmark.by_name("EP", scale=0.1)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        with pytest.raises(WorkloadError):
+            wl.install(h.kernel, rng)
+
+    def test_describe(self, rng):
+        wl = NasBenchmark.by_name("FT")
+        d = wl.describe()
+        assert d["benchmark"] == "FT"
+        assert d["threads"] == 4
+
+
+class TestSpecJbb:
+    def test_counts_transactions(self, rng):
+        wl = SpecJbbWorkload(warehouses=2)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        h.run_ms(20)
+        assert wl.total_transactions() > 0
+
+    def test_bops_normalises_by_window(self, rng):
+        wl = SpecJbbWorkload(warehouses=2)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        h.run_ms(50)
+        txns = wl.total_transactions()
+        assert wl.bops(units.seconds(1)) == pytest.approx(txns)
+
+    def test_jvm_lock_taken_periodically(self, rng):
+        wl = SpecJbbWorkload(warehouses=4, jvm_lock_period=2)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        h.run_ms(50)
+        lk = h.kernel.locks[f"{wl.name}.jvm"]
+        assert lk.acquisitions > 0
+
+    def test_more_warehouses_than_vcpus_allowed(self, rng):
+        wl = SpecJbbWorkload(warehouses=8)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        h.run_ms(50)
+        # Warehouses multiplex on VCPUs via the guest scheduler.
+        assert all(n > 0 for n in wl.transactions)
+
+    def test_rejects_zero_warehouses(self):
+        with pytest.raises(WorkloadError):
+            SpecJbbWorkload(warehouses=0)
+
+    def test_bops_rejects_bad_window(self, rng):
+        wl = SpecJbbWorkload(warehouses=1)
+        with pytest.raises(WorkloadError):
+            wl.bops(0)
+
+
+class TestSpecCpuRate:
+    def test_profiles_present(self):
+        assert "176.gcc" in SPEC_CPU_PROFILES
+        assert "256.bzip2" in SPEC_CPU_PROFILES
+
+    def test_four_copies_default(self, rng):
+        wl = SpecCpuRateWorkload.by_name("176.gcc", scale=0.02)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert len([t for t in h.kernel.tasks if not t.daemon]) == 4
+
+    def test_total_work_completed(self, rng):
+        wl = SpecCpuRateWorkload.by_name("176.gcc", scale=0.02)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=5000)
+        total = wl.profile.total_compute
+        for t in h.kernel.tasks:
+            if not t.daemon:
+                assert t.compute_cycles_done >= total
+
+    def test_no_synchronisation_objects(self, rng):
+        wl = SpecCpuRateWorkload.by_name("256.bzip2", scale=0.02)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        h.run_until_done(deadline_ms=5000)
+        assert h.kernel.barriers == {}
+        assert all(lk.contended_acquisitions == 0
+                   for lk in h.kernel.locks.values())
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            SpecCpuRateWorkload.by_name("999.nope")
+
+    def test_rounds(self, rng):
+        wl = SpecCpuRateWorkload.by_name("176.gcc", scale=0.01, rounds=3)
+        h = Harness(num_pcpus=4, num_vcpus=4)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=5000)
+        assert wl.rounds_completed() == 3
+
+
+class TestSynthetic:
+    def test_phase_validation(self):
+        with pytest.raises(WorkloadError):
+            PhaseSpec(compute=-1)
+        with pytest.raises(WorkloadError):
+            PhaseSpec(compute=10, sync="nonsense")
+
+    def test_barrier_phases_run(self, rng):
+        wl = SyntheticWorkload("syn", threads=2, phases=[
+            PhaseSpec(compute=units.us(50), repeats=3, sync="barrier")])
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=2000)
+        assert h.kernel.barriers["syn.bar"].crossings == 3
+
+    def test_critical_phases_use_lock_pool(self, rng):
+        wl = SyntheticWorkload("syn", threads=2, locks=2, phases=[
+            PhaseSpec(compute=units.us(10), repeats=4, sync="critical")])
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=2000)
+        acq = sum(h.kernel.locks[f"syn.lk{i}"].acquisitions
+                  for i in range(2))
+        assert acq == 8
+
+    def test_sem_pingpong(self, rng):
+        wl = SyntheticWorkload("syn", threads=2, phases=[
+            PhaseSpec(compute=units.us(10), repeats=5, sync="sem_pingpong")])
+        h = Harness(num_pcpus=2, num_vcpus=2)
+        wl.install(h.kernel, rng)
+        assert h.run_until_done(deadline_ms=2000)
+        sem = h.kernel.semaphores["syn.sem"]
+        assert sem.downs == 5
+        assert sem.ups == 5
+
+    def test_requires_phases(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload("syn", threads=2, phases=[])
+
+    def test_runtime_cycles_requires_completion(self, rng):
+        wl = SyntheticWorkload("syn", threads=1, phases=[
+            PhaseSpec(compute=units.seconds(10))])
+        h = Harness()
+        wl.install(h.kernel, rng)
+        with pytest.raises(WorkloadError):
+            wl.runtime_cycles()
