@@ -6,7 +6,10 @@
 * ``figure <name>`` — rerun one paper figure and print/export its series;
 * ``run`` — a single-VM scenario with a chosen workload/scheduler/rate;
 * ``sweep`` — the online-rate sweep comparing schedulers (a quick Fig 7);
-* ``specjbb`` — the warehouse sweep (a quick Fig 10).
+* ``specjbb`` — the warehouse sweep (a quick Fig 10);
+* ``perf`` — the simulation-core benchmark/regression harness
+  (``repro.perf``): emits ``BENCH_<name>.json`` and optionally gates
+  against a committed baseline (``--check``).
 
 Everything the CLI does goes through the same public API the examples
 use; it adds no behaviour, only ergonomics.
@@ -194,6 +197,65 @@ def cmd_specjbb(args) -> int:
     return 0
 
 
+def cmd_perf(args) -> int:
+    """``repro perf``: run the performance regression harness.
+
+    Emits ``BENCH_<name>.json`` per benchmark; ``--check`` gates
+    events/sec (host-normalised) and simulation fingerprints against a
+    committed baseline, ``--update-baseline`` records a new one.
+    """
+    import pathlib
+
+    from repro import perf
+    from repro.errors import ConfigurationError
+
+    if args.list:
+        for name in perf.registry:
+            print(name)
+        return 0
+    names = args.only.split(",") if args.only else None
+    mode = "quick" if args.quick else "full"
+    try:
+        results = perf.run_benchmarks(
+            names, quick=args.quick,
+            progress=lambda n: print(f"running {n} [{mode}] ...", flush=True))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    out_dir = pathlib.Path(args.out)
+    for r in results:
+        path = perf.write_result(r, out_dir)
+        print(f"  {r.name}: {r.events_per_s:,.0f} events/s "
+              f"({r.events} events in {r.wall_s:.3f}s, "
+              f"peak heap {r.peak_heap_entries}) -> {path}")
+    status = 0
+    if args.update_baseline or args.check:
+        calibration = perf.calibrate()
+        print(f"host calibration: {calibration:,.0f} loop-iters/s")
+    if args.update_baseline:
+        perf.write_baseline(results, pathlib.Path(args.update_baseline),
+                            args.quick, calibration)
+        print(f"wrote baseline {args.update_baseline}")
+    if args.check:
+        baseline = perf.load_baseline(pathlib.Path(args.check))
+        base_mode = baseline.get("meta", {}).get("mode")
+        if base_mode != mode:
+            print(f"baseline was recorded in {base_mode!r} mode but this "
+                  f"run is {mode!r}; rerun with matching --quick",
+                  file=sys.stderr)
+            return 2
+        failures = perf.check_against_baseline(
+            results, baseline, calibration, threshold=args.fail_threshold)
+        if failures:
+            print("\nPERF REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"perf check OK against {args.check} "
+                  f"(threshold {args.fail_threshold:.0%})")
+    return status
+
+
 # --------------------------------------------------------------------- #
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for shell-completion tools)."""
@@ -243,6 +305,23 @@ def build_parser() -> argparse.ArgumentParser:
     jp.add_argument("--schedulers", default="credit,asman")
     jp.add_argument("--seed", type=int, default=1)
     jp.set_defaults(func=cmd_specjbb)
+
+    pp = sub.add_parser("perf", help="performance regression harness")
+    pp.add_argument("--quick", action="store_true",
+                    help="smaller iteration counts (CI smoke mode)")
+    pp.add_argument("--only", metavar="NAMES",
+                    help="comma-separated benchmark subset")
+    pp.add_argument("--out", metavar="DIR", default="benchmarks/results/perf",
+                    help="directory for BENCH_<name>.json files")
+    pp.add_argument("--check", metavar="BASELINE",
+                    help="fail on events/sec regression vs this baseline")
+    pp.add_argument("--fail-threshold", type=float, default=0.30,
+                    help="allowed events/sec drop fraction (default 0.30)")
+    pp.add_argument("--update-baseline", metavar="PATH",
+                    help="write this run as the new baseline")
+    pp.add_argument("--list", action="store_true",
+                    help="list benchmark names and exit")
+    pp.set_defaults(func=cmd_perf)
     return p
 
 

@@ -80,6 +80,11 @@ class GuestKernel:
         self.monitor = None
         self._done_callbacks: List[Callable[[], None]] = []
         self._spawn_rr = 0
+        # Workload-completion counters: ``finished`` is polled once per
+        # simulated event by run_until_true drivers, so it must not scan
+        # the task list.
+        self._workload_total = 0
+        self._workload_done = 0
         self.guest_switches = 0
         self.finished_at: Optional[int] = None
         self.irq_count = 0
@@ -151,6 +156,8 @@ class GuestKernel:
             raise WorkloadError(f"vcpu index {vcpu_index} out of range")
         task = Task(name, program, self.vm.vcpus[vcpu_index], daemon=daemon)
         self.tasks.append(task)
+        if not daemon:
+            self._workload_total += 1
         self._make_ready(task)
         return task
 
@@ -175,8 +182,8 @@ class GuestKernel:
 
     @property
     def finished(self) -> bool:
-        workload = [t for t in self.tasks if not t.daemon]
-        return bool(workload) and all(t.done for t in workload)
+        return self._workload_total > 0 \
+            and self._workload_done == self._workload_total
 
     def unfinished_tasks(self) -> List[Task]:
         return [t for t in self.tasks if not t.done and not t.daemon]
@@ -288,8 +295,14 @@ class GuestKernel:
                        on_complete: Optional[Callable[[], None]] = None) -> str:
         if cycles <= 0:
             return CONTINUE
-        act = Activity(cycles,
-                       on_complete or (lambda: self._activity_done(task)))
+        cb = on_complete
+        if cb is None:
+            cb = task.on_compute_done
+            if cb is None:
+                def cb() -> None:
+                    self._activity_done(task)
+                task.on_compute_done = cb
+        act = Activity(cycles, cb)
         task.activity = act
         self._arm(task)
         return WAIT
@@ -301,7 +314,7 @@ class GuestKernel:
         act.started_at = self.sim.now
         act.event = self.sim.at(self.sim.now + act.remaining,
                                 act.on_complete,
-                                label=f"compute:{task.name}")
+                                label=task.compute_label)
 
     def _activity_done(self, task: Task) -> None:
         act = task.activity
@@ -580,6 +593,8 @@ class GuestKernel:
     def _task_done(self, task: Task) -> None:
         task.state = TaskState.DONE
         task.finished_at = self.sim.now
+        if not task.daemon:
+            self._workload_done += 1
         self.trace.emit(self.sim.now, "task.done",
                         vm=self.vm.name, task=task.name)
         if self.finished:

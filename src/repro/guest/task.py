@@ -76,6 +76,12 @@ class Activity:
 class Task:
     """One guest thread/process."""
 
+    __slots__ = ("name", "program", "vcpu", "daemon", "state", "micro",
+                 "activity", "spin_lock", "spin_since", "spin_flag",
+                 "locks_held", "ran_since_dispatch", "ops_completed",
+                 "compute_cycles_done", "finished_at", "compute_label",
+                 "on_compute_done")
+
     def __init__(self, name: str, program: "Program", vcpu: "VCPU",
                  daemon: bool = False) -> None:
         self.name = name
@@ -102,6 +108,12 @@ class Task:
         self.ops_completed = 0
         self.compute_cycles_done = 0
         self.finished_at: Optional[int] = None
+        #: Event label for this task's compute bursts, built once — the
+        #: kernel arms one event per burst, so per-arm formatting adds up.
+        self.compute_label = "compute:" + name
+        #: Default activity-completion callback, installed by the kernel
+        #: on first use (one closure per task, not per burst).
+        self.on_compute_done: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -116,6 +128,9 @@ class Task:
 
     def push_micro(self, *steps: MicroStep) -> None:
         """Queue micro-steps to run next (in the given order)."""
+        if len(steps) == 1:  # the dominant case: a single compute step
+            self.micro.appendleft(steps[0])
+            return
         for step in reversed(steps):
             self.micro.appendleft(step)
 

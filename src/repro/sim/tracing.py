@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One trace event: a timestamp, category and free-form payload."""
 
@@ -48,6 +48,8 @@ class TraceBus:
     :attr:`records` when :attr:`retain` categories match — retention is
     opt-in because long experiments can emit millions of records.
     """
+
+    __slots__ = ("_subs", "_retain", "records")
 
     def __init__(self) -> None:
         self._subs: Dict[str, List[Subscriber]] = {}

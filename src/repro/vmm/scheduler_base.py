@@ -51,6 +51,15 @@ class SchedulerBase:
         self.vms: List[VM] = []
         #: pcpu id -> list of RUNNABLE VCPUs (unordered; picks scan it).
         self.runqs: Dict[int, List[VCPU]] = {p.id: [] for p in machine}
+        #: Total VCPUs across all runqs, kept in lockstep by _enqueue /
+        #: _remove_from_runq so the steal path can skip an all-runq scan
+        #: when everything queued is already local.
+        self._queued = 0
+        #: pcpu id -> the *other* PCPUs' runq lists, in machine order.
+        #: Runqs are only ever mutated in place, so the aliases stay live.
+        self._peer_runqs: Dict[int, List[List[VCPU]]] = {
+            p.id: [self.runqs[q.id] for q in machine if q.id != p.id]
+            for p in machine}
         self._started = False
         self._next_vm_slot = 0
         self.context_switches = 0
@@ -83,9 +92,8 @@ class SchedulerBase:
         for vcpu in vm.vcpus:
             pid = self._next_vm_slot % len(self.machine)
             self._next_vm_slot += 1
-            vcpu.home_pcpu_id = pid
             vcpu.credit = float(initial)
-            self.runqs[pid].append(vcpu)
+            self._enqueue(vcpu, pid)
 
     def remove_vm(self, vm: VM) -> None:
         """Destroy a VM: deschedule and dequeue its VCPUs and stop giving
@@ -315,29 +323,32 @@ class SchedulerBase:
 
     # -- placement helpers --------------------------------------------- #
     def _best_local(self, pcpu: PCPU) -> Optional[VCPU]:
-        runq = self.runqs[pcpu.id]
         best: Optional[VCPU] = None
-        for v in runq:
+        best_key: Optional[Tuple[int, float]] = None
+        for v in self.runqs[pcpu.id]:
             if not self.eligible(v):
                 continue
-            if best is None or self._key(v) < self._key(best):
-                best = v
+            key = self._key(v)
+            if best_key is None or key < best_key:
+                best, best_key = v, key
         return best
 
     def _steal_for(self, pcpu: PCPU) -> Optional[VCPU]:
         """Work stealing: find the best eligible VCPU in other runqs and
         migrate it here.  Only called when this PCPU would otherwise idle."""
+        if self._queued == len(self.runqs[pcpu.id]):
+            return None  # every queued VCPU is already local
         best: Optional[VCPU] = None
-        for other in self.machine:
-            if other.id == pcpu.id:
-                continue
-            for v in self.runqs[other.id]:
+        best_key: Optional[Tuple[int, float]] = None
+        for runq in self._peer_runqs[pcpu.id]:
+            for v in runq:
                 if not self.eligible(v):
                     continue
                 if not self.may_migrate(v, pcpu):
                     continue
-                if best is None or self._key(v) < self._key(best):
-                    best = v
+                key = self._key(v)
+                if best_key is None or key < best_key:
+                    best, best_key = v, key
         if best is not None:
             self._move_to_runq(best, pcpu.id)
             best.migrations += 1
@@ -377,8 +388,14 @@ class SchedulerBase:
         # stop_running may cascade into block() via the guest offline hook
         # in pathological guests; only runnable VCPUs rejoin the queue.
         if vcpu.state is VCPUState.RUNNABLE:
-            self.runqs[pcpu.id].append(vcpu)
-            vcpu.home_pcpu_id = pcpu.id
+            self._enqueue(vcpu, pcpu.id)
+
+    def _enqueue(self, vcpu: VCPU, pcpu_id: int) -> None:
+        """Single entry point onto a runq: keeps home_pcpu_id and the
+        global ``_queued`` counter consistent with runq membership."""
+        vcpu.home_pcpu_id = pcpu_id
+        self.runqs[pcpu_id].append(vcpu)
+        self._queued += 1
 
     def _remove_from_runq(self, vcpu: VCPU) -> None:
         runq = self.runqs[vcpu.home_pcpu_id]
@@ -387,11 +404,11 @@ class SchedulerBase:
         except ValueError:
             raise SchedulerInvariantError(
                 f"{vcpu.name} not in its home runq {vcpu.home_pcpu_id}")
+        self._queued -= 1
 
     def _move_to_runq(self, vcpu: VCPU, dest_pcpu_id: int) -> None:
         self._remove_from_runq(vcpu)
-        vcpu.home_pcpu_id = dest_pcpu_id
-        self.runqs[dest_pcpu_id].append(vcpu)
+        self._enqueue(vcpu, dest_pcpu_id)
 
     # ------------------------------------------------------------------ #
     # Guest-driven events
@@ -425,8 +442,7 @@ class SchedulerBase:
                 if p.is_idle and self.may_migrate(vcpu, p):
                     target = p
                     break
-        vcpu.home_pcpu_id = target.id
-        self.runqs[target.id].append(vcpu)
+        self._enqueue(vcpu, target.id)
         if vcpu.credit >= 0:
             vcpu.wake_boost = True
         if self.eligible(vcpu):
@@ -448,6 +464,10 @@ class SchedulerBase:
     def check_invariants(self) -> None:
         """Assert the runq/state invariants; used heavily by tests."""
         seen: Dict[str, int] = {}
+        total_queued = sum(len(rq) for rq in self.runqs.values())
+        if total_queued != self._queued:
+            raise SchedulerInvariantError(
+                f"_queued={self._queued} but runqs hold {total_queued}")
         for pid, runq in self.runqs.items():
             for v in runq:
                 if v.state is not VCPUState.RUNNABLE:

@@ -1,9 +1,11 @@
 """The discrete-event engine."""
 
+import random
+
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import Simulator
+from repro.sim.engine import COMPACT_MIN_DEAD, Simulator
 
 
 class TestScheduling:
@@ -198,3 +200,140 @@ class TestPeriodic:
     def test_nonpositive_period_rejected(self, sim):
         with pytest.raises(SimulationError):
             sim.every(0, lambda: None)
+
+    def test_cancel_from_sibling_event_same_cycle(self, sim):
+        # A one-shot scheduled at the same cycle as a periodic firing but
+        # with an earlier seq cancels it before it runs.
+        hits = []
+        sim.at(15, lambda: handle.cancel())  # earlier seq wins the tie
+        handle = sim.every(10, lambda: hits.append(sim.now), start_offset=5)
+        sim.run_until(100)
+        assert hits == []
+
+    def test_raising_callback_does_not_kill_timer(self, sim):
+        hits = []
+
+        def cb():
+            hits.append(sim.now)
+            if len(hits) == 1:
+                raise RuntimeError("transient guest fault")
+
+        sim.every(10, cb)
+        with pytest.raises(RuntimeError):
+            sim.run_until(100)
+        # The timer was re-armed before the callback ran: resuming the
+        # simulation fires the next period instead of going silent.
+        sim.run_until(100)
+        assert hits == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+
+    def test_run_until_lands_exactly_on_firing(self, sim):
+        hits = []
+        sim.every(10, lambda: hits.append(sim.now))
+        sim.run_until(30)  # boundary coincides with the third firing
+        assert hits == [10, 20, 30]
+        assert sim.now == 30
+        sim.run_until(40)
+        assert hits == [10, 20, 30, 40]
+
+    def test_periodic_counts_in_pending_events(self, sim):
+        handle = sim.every(10, lambda: None)
+        sim.at(5, lambda: None)
+        assert sim.pending_events == 2
+        handle.cancel()
+        assert sim.pending_events == 1
+
+
+class TestTimestampValidation:
+    def test_fractional_timestamp_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.at(10.5, lambda: None)
+
+    def test_integral_float_accepted(self, sim):
+        seen = []
+        sim.at(10.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [10]
+
+    def test_non_numeric_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.at("10", lambda: None)
+
+    def test_bool_is_an_int(self, sim):
+        # bool is an int subclass; harmless, fires at cycle 1.
+        seen = []
+        sim.at(True, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1]
+
+    def test_fractional_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.after(0.5, lambda: None)
+
+    def test_fractional_past_time_reports_past_not_truncation(self, sim):
+        # The past-check must apply to the *coerced* value: before the
+        # fix, at(9.5) with now=5 truncated to 9 silently; with now=10 it
+        # must be rejected as in the past, not float-truncated to fire.
+        sim.run_until(10)
+        with pytest.raises(SimulationError):
+            sim.at(9.5, lambda: None)
+
+    def test_fractional_run_until_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run_until(10.5)
+
+    def test_fractional_period_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(10.5, lambda: None)
+
+
+class TestHeapHygiene:
+    def test_compaction_bounds_queue_depth(self, sim):
+        # Schedule/cancel churn: without compaction the dead entries
+        # accumulate for the life of the run.
+        for _ in range(50):
+            batch = [sim.at(1_000_000 + j, lambda: None) for j in range(20)]
+            for ev in batch:
+                ev.cancel()
+        assert sim.pending_events == 0
+        assert sim.queue_depth <= COMPACT_MIN_DEAD
+        assert sim.peak_heap_entries < 1000  # 1000 were scheduled in total
+
+    def test_pending_events_tracks_mixed_operations(self, sim):
+        events = [sim.at(10 + i, lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for ev in events[:4]:
+            ev.cancel()
+        assert sim.pending_events == 6
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_run_until_true_cancelled_head_past_deadline(self, sim):
+        # Regression: a cancelled event sitting at the heap head beyond
+        # the deadline used to hide the deadline check, letting a later
+        # live event fire past the deadline.
+        fired = []
+        head = sim.at(60, lambda: fired.append(60))
+        sim.at(100, lambda: fired.append(100))
+        head.cancel()
+        assert not sim.run_until_true(lambda: False, deadline=50)
+        assert sim.now == 50
+        assert fired == []
+
+    def test_compaction_preserves_firing_order(self):
+        # Property test: under heavy random cancellation (forcing many
+        # compactions), survivors fire in exactly (time, seq) order.
+        rng = random.Random(12345)
+        sim = Simulator()
+        fired = []
+        expected = []
+        live = []
+        for i in range(2_000):
+            t = rng.randrange(1, 5_000)
+            ev = sim.at(t, lambda t=t, i=i: fired.append((t, i)))
+            live.append((t, i, ev))
+            if rng.random() < 0.7:
+                victim = live.pop(rng.randrange(len(live)))
+                victim[2].cancel()
+        expected = sorted((t, i) for t, i, _ in live)
+        sim.run()
+        assert fired == expected
