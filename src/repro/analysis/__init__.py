@@ -1,0 +1,67 @@
+"""Static and dynamic analysis tooling for the reproduction.
+
+Two layers, both guarding the same contract (bit-identical determinism
+and faithful scheduler mechanics):
+
+* :mod:`repro.analysis.simlint` — AST-based static checker with
+  sim-specific rules (``python -m repro lint``).
+* :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checker
+  for the VMM scheduler (``--sanitize`` / ``REPRO_SANITIZE=1``), in the
+  spirit of ThreadSanitizer: heavy checks after every scheduling
+  decision, zero overhead when off.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.analysis.sanitizer import SanitizerViolation, SchedulerSanitizer
+from repro.analysis.simlint import (
+    LintReport,
+    RULES,
+    Violation,
+    lint_file,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "LintReport",
+    "RULES",
+    "SanitizerViolation",
+    "SchedulerSanitizer",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "sanitize_enabled",
+    "set_sanitize",
+]
+
+#: Process-wide override set by the CLI's --sanitize flag (None = defer
+#: to the REPRO_SANITIZE environment variable).
+_SANITIZE_OVERRIDE: Optional[bool] = None
+
+
+def set_sanitize(enabled: Optional[bool]) -> None:
+    """Force sanitizer wiring on/off for this process (None resets to
+    the environment default)."""
+    global _SANITIZE_OVERRIDE
+    _SANITIZE_OVERRIDE = enabled
+
+
+def sanitize_enabled() -> bool:
+    """Should new testbeds attach a scheduler sanitizer?
+
+    Priority: :func:`set_sanitize` override, then the ``REPRO_SANITIZE``
+    environment variable (``1``/``true``/``yes``/``on`` enable).
+    """
+    if _SANITIZE_OVERRIDE is not None:
+        return _SANITIZE_OVERRIDE
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "yes", "on")

@@ -1,0 +1,264 @@
+"""Runtime invariant checking for the VMM scheduler — a TSan for the sim.
+
+:class:`SchedulerSanitizer` attaches to a running scheduler and validates
+the paper's structural guarantees *after every scheduling decision*, not
+just at the spots tests happen to probe.  It is strictly an observer: it
+never schedules events, never mutates scheduler state, and therefore can
+never change a run's outcome fingerprint — switching it on must only cost
+wall-clock time.
+
+Invariants checked
+------------------
+After every :meth:`SchedulerBase.schedule` call:
+
+1. **Placement** — each VCPU occupies at most one PCPU, and PCPU/VCPU
+   linkage is mutually consistent (``pcpu.current.pcpu is pcpu``).
+2. **Runq membership** — a VCPU is in exactly one runq iff RUNNABLE,
+   its ``home_pcpu_id`` matches the queue it sits in, and the global
+   ``_queued`` counter agrees with the queues (delegates to
+   :meth:`SchedulerBase.check_invariants`).
+3. **Credit conservation** — between credit-assignment events the total
+   credit in the system may only fall (debits); at an assignment it may
+   rise by at most the period entitlement Cred_total plus the per-VCPU
+   banking cap (Algorithm 3's clip bounds).
+4. **Coschedule atomicity** — for a VM the policy gang-schedules
+   (``_wants_cosched``), cap enforcement parks/unparks its VCPUs
+   all-or-nothing; for a VM it does *not*, no gang window may be open
+   and no VCPU may carry a coscheduling boost (HIGH→LOW must tear both
+   down, paper Algorithm 4).
+
+On every completed spinlock acquisition (hooked from
+:meth:`repro.guest.kernel.GuestKernel._record_wait`):
+
+5. **LHP provenance** — an over-threshold spin (wait > 2**delta_exp,
+   paper Section 3.1) must trace back to a descheduled VCPU: if every
+   VCPU of the VM was continuously online for the whole wait window,
+   nothing was preempted and the "wait times are greatly increased [when]
+   the VCPU holding a spinlock is descheduled" causal story is broken —
+   that is a simulator bug, not contention.
+
+Failure mode
+------------
+``strict=True`` (default) raises :class:`SanitizerViolation` at the
+first breach — the scheduling decision that corrupted state is at the
+top of the traceback.  ``strict=False`` records violations in
+:attr:`violations` for post-run inspection (used by the macro-bench
+gate, which asserts the list is empty after a full run).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import SchedulerInvariantError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.guest.spinlock import SpinLock
+    from repro.hardware.machine import PCPU
+    from repro.vmm.scheduler_base import SchedulerBase
+    from repro.vmm.vm import VM
+
+#: Slack for float credit arithmetic (credits are floats; debits and
+#: shares accumulate rounding error over thousands of periods).
+_EPS = 1e-6
+
+
+class SanitizerViolation(SchedulerInvariantError):
+    """A scheduler invariant was broken while the sanitizer watched."""
+
+
+class SchedulerSanitizer:
+    """Validates scheduler invariants after every scheduling decision.
+
+    Attach via :class:`repro.experiments.setup.Testbed` (``sanitize=True``
+    or the ``REPRO_SANITIZE`` env var / ``--sanitize`` CLI flag), or wire
+    manually::
+
+        san = SchedulerSanitizer(scheduler)
+        scheduler.sanitizer = san        # after_schedule / note_* hooks
+        kernel.sanitizer = san           # note_spin_wait hook
+    """
+
+    __slots__ = (
+        "scheduler", "strict", "violations", "schedules_checked",
+        "assigns_checked", "spin_waits_checked", "_credit_watermark",
+    )
+
+    def __init__(self, scheduler: "SchedulerBase",
+                 strict: bool = True) -> None:
+        self.scheduler = scheduler
+        self.strict = strict
+        #: Human-readable record of every breach (non-strict mode keeps
+        #: accumulating; strict mode holds the one that raised).
+        self.violations: List[str] = []
+        self.schedules_checked = 0
+        self.assigns_checked = 0
+        self.spin_waits_checked = 0
+        #: Highest legitimate total credit since the last injection point
+        #: (assignment / VM add or remove).  Between injection points the
+        #: total may only fall.
+        self._credit_watermark = self._total_credit()
+
+    # ------------------------------------------------------------------ #
+    def _fail(self, message: str) -> None:
+        self.violations.append(message)
+        if self.strict:
+            raise SanitizerViolation(f"sanitizer: {message}")
+
+    def _total_credit(self) -> float:
+        total = 0.0
+        for vm in self.scheduler.vms:
+            for vcpu in vm.vcpus:
+                total += vcpu.credit
+        return total
+
+    # ------------------------------------------------------------------ #
+    # Hooks called by the scheduler
+    # ------------------------------------------------------------------ #
+    def after_schedule(self, pcpu: "PCPU") -> None:
+        """Full structural sweep after one scheduling event on ``pcpu``."""
+        self.schedules_checked += 1
+        self._check_placement()
+        try:
+            self.scheduler.check_invariants()
+        except SanitizerViolation:
+            raise
+        except SchedulerInvariantError as exc:
+            self._fail(str(exc))
+        self._check_gang_atomicity()
+        self._check_credit_monotonic()
+
+    def note_assign(self) -> None:
+        """Called after :meth:`SchedulerBase.assign_credits` completes."""
+        self.assigns_checked += 1
+        total = self._total_credit()
+        ceiling = self._assign_ceiling()
+        if total > ceiling + _EPS:
+            self._fail(
+                f"credit conservation: total {total:.3f} after assignment "
+                f"exceeds the Algorithm 3 ceiling {ceiling:.3f}")
+        self._credit_watermark = total
+
+    def note_credit_event(self) -> None:
+        """A legitimate out-of-band credit change (VM added/removed):
+        re-baseline the conservation watermark."""
+        self._credit_watermark = self._total_credit()
+
+    def note_spin_wait(self, vm: "VM", lock: "SpinLock", wait: int) -> None:
+        """LHP provenance check for one completed spinlock acquisition."""
+        self.spin_waits_checked += 1
+        threshold = vm.config.monitor.over_threshold_cycles
+        if wait <= threshold:
+            return
+        now = self.scheduler.sim.now
+        since = now - wait
+        for vcpu in vm.vcpus:
+            online_since = vcpu._online_since
+            if online_since is None or online_since > since:
+                # This VCPU was offline (or came online mid-wait): the
+                # over-threshold spin has a preemption to blame.
+                return
+        self._fail(
+            f"LHP provenance: {vm.name} waited {wait} cycles "
+            f"(> 2^{vm.config.monitor.delta_exp}) on lock {lock.name!r} "
+            f"but every VCPU was online for the whole window "
+            f"[{since}, {now}] — no descheduled holder can explain it")
+
+    # ------------------------------------------------------------------ #
+    # Individual invariants
+    # ------------------------------------------------------------------ #
+    def _check_placement(self) -> None:
+        """Each VCPU on at most one PCPU; linkage mutually consistent."""
+        occupant_of: Dict[int, int] = {}
+        for pcpu in self.scheduler.machine:
+            vcpu = pcpu.current
+            if vcpu is None:
+                continue
+            prev = occupant_of.get(id(vcpu))
+            if prev is not None:
+                self._fail(f"placement: {vcpu.name} current on PCPUs "
+                           f"{prev} and {pcpu.id} simultaneously")
+            occupant_of[id(vcpu)] = pcpu.id
+            if vcpu.pcpu is not pcpu:
+                self._fail(f"placement: PCPU {pcpu.id} runs {vcpu.name} "
+                           f"but the VCPU points at "
+                           f"{getattr(vcpu.pcpu, 'id', None)}")
+
+    def _check_gang_atomicity(self) -> None:
+        """All-or-nothing gang entry/exit (paper Algorithm 4)."""
+        sched = self.scheduler
+        now = sched.sim.now
+        for vm in sched.vms:
+            if sched._wants_cosched(vm):
+                if not sched.config.work_conserving:
+                    parked = {v.parked for v in vm.vcpus}
+                    if len(parked) > 1:
+                        detail = ", ".join(
+                            f"{v.name}={'P' if v.parked else 'R'}"
+                            for v in vm.vcpus)
+                        self._fail(
+                            f"gang atomicity: coscheduled {vm.name} has "
+                            f"mixed park state under a cap ({detail})")
+            else:
+                if sched._gang_until.get(vm.id, 0) > now:
+                    self._fail(
+                        f"gang atomicity: {vm.name} is not coscheduled "
+                        f"but its gang window is still open "
+                        f"(until {sched._gang_until[vm.id]}, now {now})")
+                stale = [v.name for v in vm.vcpus if v.boosted]
+                if stale:
+                    self._fail(
+                        f"gang atomicity: {vm.name} is not coscheduled "
+                        f"but {', '.join(stale)} still carry a "
+                        f"coscheduling boost")
+
+    def _check_credit_monotonic(self) -> None:
+        """Between assignments, total credit may only fall (debits)."""
+        total = self._total_credit()
+        if total > self._credit_watermark + _EPS:
+            self._fail(
+                f"credit conservation: total rose from "
+                f"{self._credit_watermark:.3f} to {total:.3f} outside an "
+                f"assignment event")
+        else:
+            # Ratchet down so a later illegitimate refill inside the same
+            # period is caught against the tightest known bound.
+            self._credit_watermark = total
+
+    def _assign_ceiling(self) -> float:
+        """Upper bound on total credit immediately after Algorithm 3.
+
+        Each VCPU is clipped to ``hi = inc_max + burst*(1+cap)`` where
+        ``inc_max <= vm_credit`` (a VM's whole period entitlement landing
+        on one VCPU is the worst case), so the system total is bounded by
+        ``sum_vm |C(Vi)| * (vm_credit + burst*(1+cap))``.
+        """
+        sched = self.scheduler
+        cfg = sched.config
+        total_weight = sum(vm.weight for vm in sched.vms)
+        if total_weight <= 0:
+            return self._total_credit()
+        cred_total = (len(sched.machine) * cfg.credit_per_tick
+                      * cfg.assign_slots)
+        burst = cfg.credit_per_tick * cfg.assign_slots
+        bank = burst * (1.0 + cfg.credit_cap_periods)
+        ceiling = 0.0
+        for vm in sched.vms:
+            vm_credit = cred_total * (vm.weight / total_weight)
+            ceiling += len(vm.vcpus) * (vm_credit + bank)
+        return ceiling
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting: checks run and violations found."""
+        return {
+            "schedules_checked": self.schedules_checked,
+            "assigns_checked": self.assigns_checked,
+            "spin_waits_checked": self.spin_waits_checked,
+            "violations": len(self.violations),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SchedulerSanitizer strict={self.strict} "
+                f"checks={self.schedules_checked} "
+                f"violations={len(self.violations)}>")

@@ -1,0 +1,679 @@
+"""simlint — sim-specific static analysis for the reproduction.
+
+The whole value of this codebase rests on two properties: **bit-identical
+determinism** (the perf harness's fingerprint gate) and **cycle-exact
+integer time** (the event engine refuses fractional timestamps).  Both are
+easy to break with ordinary-looking Python — a ``time.time()`` call in a
+trace label, a float division feeding ``sim.after``, iteration over a set
+whose order leaks into scheduling decisions.  simlint walks the AST of
+every source file and enforces the project's determinism contract the way
+a sanitizer enforces memory safety: mechanically, on every commit.
+
+Rules
+-----
+Rules are scoped.  *Simulation scope* covers the packages whose code runs
+inside the simulated world (``repro.sim``, ``repro.vmm``, ``repro.guest``,
+``repro.asman``, ``repro.hardware``); *hot-path scope* covers the modules
+whose classes are instantiated per-event (the Task/Event/TraceRecord
+tier); everything else applies package-wide.
+
+``wall-clock``        [sim]  no ``time`` / ``datetime`` imports or calls —
+                             the simulated clock is ``sim.now``, wall time
+                             makes runs host-dependent.
+``random-module``     [sim]  no stdlib ``random``, no numpy legacy global
+                             RNG, no unseeded ``default_rng()`` — all
+                             randomness flows through named, seeded
+                             :class:`repro.sim.rng.RngStreams`.
+``nondet-iter``       [sim]  no iteration over sets / ``vars()`` /
+                             ``dir()`` / ``os.listdir`` results — their
+                             order is not part of the language contract
+                             and can differ across runs or versions.
+``float-into-cycles`` [sim]  no float literals or true division in the
+                             time arguments of ``sim.at/after/every`` or
+                             in cycle-denominated op constructors
+                             (``Compute``/``Sleep``/``Critical``); convert
+                             through :mod:`repro.units` producers or
+                             integerize explicitly.
+``silent-truncation`` [sim]  no ``int(a / b)`` — truncating a true
+                             division silently discards cycles; use
+                             floor division.
+``mutable-default``   [all]  no mutable default arguments.
+``slots-required``    [hot]  classes in hot-path modules must declare
+                             ``__slots__`` (per-event allocation cost and
+                             accidental-attribute protection).
+``bare-except``       [all]  no bare ``except:`` / ``except
+                             BaseException:`` without re-raise, and no
+                             ``except ...: pass`` silent swallows.
+
+Escape hatch
+------------
+Any violation can be waived in place with an inline pragma on the
+offending line::
+
+    jitter = base * 1.5  # simlint: ignore[float-into-cycles]
+
+``# simlint: ignore`` (no rule list) waives every rule on that line.
+Pragmas are deliberate, reviewable markers — the linter counts them in
+its JSON report so a creeping pile of waivers is visible.
+
+Usage
+-----
+``python -m repro lint [paths...]`` (see :func:`run`), or
+programmatically::
+
+    from repro.analysis import lint_paths
+    violations = lint_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "LintReport",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+]
+
+#: Rule id -> one-line description (the CLI's --list-rules output).
+RULES: Dict[str, str] = {
+    "wall-clock": "no wall-clock time sources in simulation code",
+    "random-module": "no stdlib random / unseeded or global numpy RNG",
+    "nondet-iter": "no iteration over unordered collections",
+    "float-into-cycles": "no float arithmetic feeding cycle-valued args",
+    "silent-truncation": "no int() around a true division",
+    "mutable-default": "no mutable default arguments",
+    "slots-required": "hot-path classes must declare __slots__",
+    "bare-except": "no bare/blanket except or silent except-pass",
+}
+
+#: Sub-packages whose code executes inside the simulated world.
+SIM_PACKAGES: Tuple[str, ...] = ("sim", "vmm", "guest", "asman", "hardware")
+
+#: (subpackage, module) pairs holding per-event ("hot tier") classes.
+HOT_MODULES: Set[Tuple[str, str]] = {
+    ("sim", "engine"),
+    ("sim", "tracing"),
+    ("guest", "task"),
+    ("guest", "spinlock"),
+    ("guest", "futex"),
+    ("guest", "flags"),
+    ("vmm", "vm"),
+    ("hardware", "machine"),
+}
+
+_WALL_CLOCK_MODULES = {"time", "datetime"}
+_WALL_CLOCK_TIME_ATTRS = {
+    "time", "monotonic", "perf_counter", "process_time", "time_ns",
+    "monotonic_ns", "perf_counter_ns", "localtime", "gmtime",
+}
+_WALL_CLOCK_DT_ATTRS = {"now", "utcnow", "today"}
+#: numpy legacy global-state RNG entry points (np.random.<attr>).
+_NUMPY_LEGACY_RNG = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "seed", "uniform",
+    "normal", "standard_normal", "exponential", "poisson", "bytes",
+}
+_UNORDERED_FACTORIES = {"set", "frozenset", "vars", "globals", "locals"}
+_LISTING_ATTRS = {"listdir", "scandir", "iterdir", "glob", "iglob"}
+#: Callables blessing a cycle argument (explicit, reviewable integerizing).
+_INTEGERIZERS = {"int", "round", "floor", "ceil", "len", "max", "min", "abs"}
+#: repro.units producers returning integer cycles.
+_UNITS_PRODUCERS = {"ms", "us", "seconds"}
+#: Constructors whose first argument is denominated in cycles.
+_CYCLE_OPS = {"Compute", "Sleep"}
+#: name -> index of the cycle-valued argument for mixed-arg constructors.
+_CYCLE_OP_ARGS = {"Critical": 1}  # Critical(lock, hold)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule breach at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "rule": self.rule, "message": self.message}
+
+
+@dataclass
+class LintReport:
+    """Aggregate outcome of one lint run."""
+
+    violations: List[Violation]
+    files_checked: int
+    pragmas_used: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# --------------------------------------------------------------------- #
+# Pragma parsing
+# --------------------------------------------------------------------- #
+def _parse_pragmas(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map line number -> waived rule set (None = every rule).
+
+    Pragmas ride in comments so they survive ``ast`` parsing, which drops
+    them; we re-tokenize to recover positions.
+    """
+    pragmas: Dict[int, Optional[Set[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type is not tokenize.COMMENT:
+                continue
+            text = tok.string.lstrip("#").strip()
+            if not text.startswith("simlint:"):
+                continue
+            directive = text[len("simlint:"):].strip()
+            if not directive.startswith("ignore"):
+                continue
+            rest = directive[len("ignore"):].strip()
+            if rest.startswith("[") and rest.endswith("]"):
+                rules = {r.strip() for r in rest[1:-1].split(",") if r.strip()}
+                pragmas[tok.start[0]] = rules
+            else:
+                pragmas[tok.start[0]] = None  # waive everything
+    except tokenize.TokenError:
+        return pragmas  # syntax errors surface through ast.parse instead
+    return pragmas
+
+
+# --------------------------------------------------------------------- #
+# Expression helpers
+# --------------------------------------------------------------------- #
+def _is_units_producer(call: ast.Call) -> bool:
+    """True for ``units.ms(...)`` / ``us`` / ``seconds`` (and bare names
+    imported from repro.units)."""
+    fn = call.func
+    if isinstance(fn, ast.Attribute) and fn.attr in _UNITS_PRODUCERS \
+            and isinstance(fn.value, ast.Name) and fn.value.id == "units":
+        return True
+    if isinstance(fn, ast.Name) and fn.id in _UNITS_PRODUCERS:
+        return True
+    return False
+
+
+def _is_integerizer(call: ast.Call) -> bool:
+    fn = call.func
+    if isinstance(fn, ast.Name) and fn.id in _INTEGERIZERS:
+        return True
+    if isinstance(fn, ast.Attribute) and fn.attr in ("floor", "ceil"):
+        return True
+    return False
+
+
+def _float_taint(expr: ast.expr) -> Optional[ast.expr]:
+    """Return the first node proving float arithmetic reaches ``expr``.
+
+    Subtrees wrapped in an explicit integerizer (``int``/``round``/
+    ``math.floor``...) or produced by a :mod:`repro.units` converter are
+    trusted: the conversion point is visible and auditable.
+    """
+    stack: List[ast.expr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            if _is_units_producer(node) or _is_integerizer(node):
+                continue  # blessed boundary: don't look inside
+            stack.extend(node.args)
+            stack.extend(kw.value for kw in node.keywords)
+            continue
+        if isinstance(node, ast.Constant) and isinstance(node.value, float):
+            return node
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return node
+        stack.extend(ast.iter_child_nodes(node))  # type: ignore[arg-type]
+    return None
+
+
+def _looks_like_sim(receiver: ast.expr) -> bool:
+    """Heuristic: is this attribute receiver a Simulator handle?
+
+    Matches ``sim``, ``self.sim``, ``self._sim``, ``tb.sim`` — any name
+    or attribute whose final component is ``sim``/``_sim``.
+    """
+    if isinstance(receiver, ast.Name):
+        return receiver.id in ("sim", "_sim")
+    if isinstance(receiver, ast.Attribute):
+        return receiver.attr in ("sim", "_sim")
+    return False
+
+
+def _mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray",
+                                "defaultdict", "deque", "Counter",
+                                "OrderedDict")
+    return False
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    return False
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    target = node.value if isinstance(node, ast.Subscript) else node
+    if isinstance(target, ast.Name):
+        return target.id in ("Set", "set", "frozenset", "FrozenSet",
+                            "MutableSet")
+    if isinstance(target, ast.Attribute):
+        return target.attr in ("Set", "FrozenSet", "MutableSet")
+    return False
+
+
+_EXEMPT_BASES = {
+    "Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "Protocol",
+    "Exception", "BaseException", "NamedTuple", "TypedDict", "ABC",
+}
+
+
+def _class_exempt_from_slots(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else \
+            base.id if isinstance(base, ast.Name) else ""
+        if name in _EXEMPT_BASES or name.endswith("Error"):
+            return True
+    for dec in node.decorator_list:
+        # @dataclass(slots=True) generates __slots__ itself.
+        if isinstance(dec, ast.Call):
+            fn = dec.func
+            fn_name = fn.attr if isinstance(fn, ast.Attribute) else \
+                fn.id if isinstance(fn, ast.Name) else ""
+            if fn_name == "dataclass" and any(
+                    kw.arg == "slots"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in dec.keywords):
+                return True
+    return False
+
+
+def _defines_slots(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) \
+                    and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+# --------------------------------------------------------------------- #
+# The checker
+# --------------------------------------------------------------------- #
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: str, sim_scope: bool, hot_module: bool,
+                 rules: Set[str]) -> None:
+        self.path = path
+        self.sim_scope = sim_scope
+        self.hot_module = hot_module
+        self.rules = rules
+        self.found: List[Violation] = []
+        #: Names bound to set expressions in the current function.
+        self._set_names: List[Set[str]] = []
+
+    # -- plumbing ------------------------------------------------------- #
+    def _emit(self, node: ast.AST, rule: str, message: str) -> None:
+        if rule not in self.rules:
+            return
+        self.found.append(Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=rule,
+            message=message))
+
+    # -- imports -------------------------------------------------------- #
+    def visit_Import(self, node: ast.Import) -> None:
+        if self.sim_scope:
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _WALL_CLOCK_MODULES:
+                    self._emit(node, "wall-clock",
+                               f"import of {alias.name!r}: simulation code "
+                               f"must use sim.now, not wall-clock time")
+                elif root == "random":
+                    self._emit(node, "random-module",
+                               "import of stdlib 'random': use seeded "
+                               "repro.sim.rng.RngStreams instead")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self.sim_scope and node.module:
+            root = node.module.split(".")[0]
+            if root in _WALL_CLOCK_MODULES:
+                self._emit(node, "wall-clock",
+                           f"import from {node.module!r}: simulation code "
+                           f"must use sim.now, not wall-clock time")
+            elif root == "random":
+                self._emit(node, "random-module",
+                           "import from stdlib 'random': use seeded "
+                           "repro.sim.rng.RngStreams instead")
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------- #
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.sim_scope:
+            self._check_wall_clock_call(node)
+            self._check_random_call(node)
+            self._check_cycle_args(node)
+            self._check_silent_truncation(node)
+        self.generic_visit(node)
+
+    def _check_wall_clock_call(self, node: ast.Call) -> None:
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        base = fn.value
+        if isinstance(base, ast.Name) and base.id == "time" \
+                and fn.attr in _WALL_CLOCK_TIME_ATTRS:
+            self._emit(node, "wall-clock",
+                       f"time.{fn.attr}() in simulation code: the only "
+                       f"clock is sim.now")
+        elif isinstance(base, ast.Name) and base.id in ("datetime", "date") \
+                and fn.attr in _WALL_CLOCK_DT_ATTRS:
+            self._emit(node, "wall-clock",
+                       f"{base.id}.{fn.attr}() in simulation code: the "
+                       f"only clock is sim.now")
+
+    def _check_random_call(self, node: ast.Call) -> None:
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            return
+        base = fn.value
+        # random.<anything>()
+        if isinstance(base, ast.Name) and base.id == "random":
+            self._emit(node, "random-module",
+                       f"random.{fn.attr}(): stdlib RNG has process-global "
+                       f"state; use a named RngStreams stream")
+            return
+        # np.random.<legacy>() / numpy.random.<legacy>()
+        if isinstance(base, ast.Attribute) and base.attr == "random" \
+                and isinstance(base.value, ast.Name) \
+                and base.value.id in ("np", "numpy"):
+            if fn.attr in _NUMPY_LEGACY_RNG:
+                self._emit(node, "random-module",
+                           f"np.random.{fn.attr}(): legacy global-state "
+                           f"RNG; use a named RngStreams stream")
+            elif fn.attr == "default_rng" and not node.args \
+                    and not node.keywords:
+                self._emit(node, "random-module",
+                           "np.random.default_rng() without a seed draws "
+                           "OS entropy; pass an explicit seed")
+
+    def _check_cycle_args(self, node: ast.Call) -> None:
+        fn = node.func
+        cycle_args: List[ast.expr] = []
+        where = ""
+        if isinstance(fn, ast.Attribute) and fn.attr in ("at", "after",
+                                                         "every") \
+                and _looks_like_sim(fn.value):
+            if node.args:
+                cycle_args.append(node.args[0])
+            for kw in node.keywords:
+                if kw.arg in ("time", "delay", "period", "start_offset"):
+                    cycle_args.append(kw.value)
+            where = f"sim.{fn.attr}()"
+        elif isinstance(fn, ast.Name) and fn.id in _CYCLE_OPS and node.args:
+            cycle_args.append(node.args[0])
+            where = f"{fn.id}()"
+        elif isinstance(fn, ast.Name) and fn.id in _CYCLE_OP_ARGS:
+            idx = _CYCLE_OP_ARGS[fn.id]
+            if len(node.args) > idx:
+                cycle_args.append(node.args[idx])
+            where = f"{fn.id}()"
+        for arg in cycle_args:
+            taint = _float_taint(arg)
+            if taint is not None:
+                what = "float literal" \
+                    if isinstance(taint, ast.Constant) else "true division"
+                self._emit(arg, "float-into-cycles",
+                           f"{what} reaches the cycle argument of {where}; "
+                           f"convert via repro.units or integerize "
+                           f"explicitly")
+
+    def _check_silent_truncation(self, node: ast.Call) -> None:
+        fn = node.func
+        if isinstance(fn, ast.Name) and fn.id == "int" \
+                and len(node.args) == 1 \
+                and isinstance(node.args[0], ast.BinOp) \
+                and isinstance(node.args[0].op, ast.Div):
+            self._emit(node, "silent-truncation",
+                       "int(a / b) silently truncates; use a // b for "
+                       "cycle-exact arithmetic")
+
+    # -- iteration ------------------------------------------------------ #
+    def _check_iter_expr(self, node: ast.expr) -> None:
+        if not self.sim_scope:
+            return
+        if _is_set_expr(node):
+            self._emit(node, "nondet-iter",
+                       "iterating a set: ordering is not guaranteed; "
+                       "wrap in sorted()")
+            return
+        if isinstance(node, ast.Call):
+            fn = node.func
+            if isinstance(fn, ast.Name) and fn.id in _UNORDERED_FACTORIES:
+                self._emit(node, "nondet-iter",
+                           f"iterating {fn.id}(): ordering is not "
+                           f"guaranteed; wrap in sorted()")
+            elif isinstance(fn, ast.Attribute) and fn.attr in _LISTING_ATTRS:
+                self._emit(node, "nondet-iter",
+                           f".{fn.attr}() results are filesystem-ordered; "
+                           f"wrap in sorted()")
+        elif isinstance(node, ast.Name) and self._set_names \
+                and node.id in self._set_names[-1]:
+            self._emit(node, "nondet-iter",
+                       f"iterating {node.id!r}, which is bound to a set "
+                       f"in this function; wrap in sorted()")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter_expr(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iter_expr(node.iter)
+        self.generic_visit(node)
+
+    # -- functions ------------------------------------------------------ #
+    def _check_defaults(self, node) -> None:
+        args = node.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults
+                                              if d is not None]:
+            if _mutable_default(default):
+                self._emit(default, "mutable-default",
+                           "mutable default argument is shared across "
+                           "calls; default to None and build inside")
+
+    def _collect_set_names(self, node) -> Set[str]:
+        names: Set[str] = set()
+        if hasattr(node, "args"):
+            all_args = (node.args.posonlyargs + node.args.args
+                        + node.args.kwonlyargs)
+            for arg in all_args:
+                if arg.annotation is not None \
+                        and _annotation_is_set(arg.annotation):
+                    names.add(arg.arg)
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Assign) and _is_set_expr(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                if _annotation_is_set(stmt.annotation) or (
+                        stmt.value is not None and _is_set_expr(stmt.value)):
+                    names.add(stmt.target.id)
+        return names
+
+    def _visit_function(self, node) -> None:
+        self._check_defaults(node)
+        self._set_names.append(self._collect_set_names(node)
+                               if self.sim_scope else set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- classes -------------------------------------------------------- #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self.hot_module and not _class_exempt_from_slots(node) \
+                and not _defines_slots(node):
+            self._emit(node, "slots-required",
+                       f"class {node.name} lives in a hot-path module but "
+                       f"declares no __slots__")
+        self.generic_visit(node)
+
+    # -- exception handling --------------------------------------------- #
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        reraises = any(isinstance(s, ast.Raise) for s in node.body)
+        if node.type is None:
+            self._emit(node, "bare-except",
+                       "bare except catches everything including "
+                       "KeyboardInterrupt; name the exception")
+        elif isinstance(node.type, ast.Name) \
+                and node.type.id == "BaseException" and not reraises:
+            self._emit(node, "bare-except",
+                       "except BaseException without re-raise swallows "
+                       "interpreter-level signals")
+        elif len(node.body) == 1 and isinstance(node.body[0], ast.Pass):
+            self._emit(node, "bare-except",
+                       "except ...: pass silently swallows the error; "
+                       "handle it or let it propagate")
+        self.generic_visit(node)
+
+
+# --------------------------------------------------------------------- #
+# File / path drivers
+# --------------------------------------------------------------------- #
+def _scope_of(path: Path, assume_sim: bool) -> Tuple[bool, bool]:
+    """(sim_scope, hot_module) for a file, from its repro-relative path."""
+    parts = path.parts
+    sim_scope = assume_sim
+    hot = False
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        rel = parts[idx + 1:]
+        if rel and rel[0] in SIM_PACKAGES:
+            sim_scope = True
+            if len(rel) == 2 and (rel[0], rel[1][:-3]) in HOT_MODULES:
+                hot = True
+    return sim_scope, hot
+
+
+def lint_source(source: str, path: str = "<string>",
+                sim_scope: bool = False, hot_module: bool = False,
+                rules: Optional[Iterable[str]] = None
+                ) -> Tuple[List[Violation], int]:
+    """Lint one source string.  Returns (violations, pragmas_used)."""
+    active = set(rules) if rules is not None else set(RULES)
+    unknown = active - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown simlint rule(s): {sorted(unknown)}")
+    tree = ast.parse(source, filename=path)
+    checker = _Checker(path, sim_scope, hot_module, active)
+    checker.visit(tree)
+    pragmas = _parse_pragmas(source)
+    kept: List[Violation] = []
+    used = 0
+    for v in sorted(checker.found, key=lambda v: (v.line, v.col, v.rule)):
+        waived = pragmas.get(v.line)
+        if v.line in pragmas and (waived is None or v.rule in waived):
+            used += 1
+            continue
+        kept.append(v)
+    return kept, used
+
+
+def lint_file(path: Path, assume_sim: bool = False,
+              rules: Optional[Iterable[str]] = None
+              ) -> Tuple[List[Violation], int]:
+    """Lint one file on disk."""
+    sim_scope, hot = _scope_of(path, assume_sim)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), sim_scope=sim_scope,
+                       hot_module=hot, rules=rules)
+
+
+def lint_paths(paths: Sequence, assume_sim: bool = False,
+               rules: Optional[Iterable[str]] = None) -> LintReport:
+    """Lint files and directories (recursively, ``*.py``)."""
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    violations: List[Violation] = []
+    pragmas = 0
+    for f in files:
+        found, used = lint_file(f, assume_sim=assume_sim, rules=rules)
+        violations.extend(found)
+        pragmas += used
+    return LintReport(violations=violations, files_checked=len(files),
+                      pragmas_used=pragmas)
+
+
+# --------------------------------------------------------------------- #
+# Reporters
+# --------------------------------------------------------------------- #
+def render_text(report: LintReport) -> str:
+    """Compiler-style ``path:line:col: rule: message`` lines + summary."""
+    lines = [v.render() for v in report.violations]
+    summary = (f"{len(report.violations)} violation(s) in "
+               f"{report.files_checked} file(s), "
+               f"{report.pragmas_used} pragma waiver(s)")
+    return "\n".join(lines + [summary])
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report: violations, file count, pragma count."""
+    doc = {
+        "violations": [v.to_dict() for v in report.violations],
+        "files_checked": report.files_checked,
+        "pragmas_used": report.pragmas_used,
+        "ok": report.ok,
+    }
+    return json.dumps(doc, indent=2)

@@ -9,7 +9,14 @@
 * ``specjbb`` — the warehouse sweep (a quick Fig 10);
 * ``perf`` — the simulation-core benchmark/regression harness
   (``repro.perf``): emits ``BENCH_<name>.json`` and optionally gates
-  against a committed baseline (``--check``).
+  against a committed baseline (``--check``);
+* ``lint`` — the simlint static checker (``repro.analysis``): sim-specific
+  determinism and cycle-unit rules, non-zero exit on violations.
+
+Every simulation-running command accepts ``--sanitize``, which attaches
+the runtime scheduler sanitizer (``repro.analysis.sanitizer``) to all
+testbeds built in this process; ``REPRO_SANITIZE=1`` does the same from
+the environment.
 
 Everything the CLI does goes through the same public API the examples
 use; it adds no behaviour, only ergonomics.
@@ -197,6 +204,41 @@ def cmd_specjbb(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """``repro lint``: run simlint over the source tree (default) or the
+    given paths; exit 1 if violations are found."""
+    import pathlib
+
+    from repro import analysis
+
+    if args.list_rules:
+        width = max(len(r) for r in analysis.RULES)
+        for rule, desc in analysis.RULES.items():
+            print(f"{rule:<{width}}  {desc}")
+        return 0
+    rules = args.rules.split(",") if args.rules else None
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        src = pathlib.Path("src/repro")
+        if src.is_dir():
+            paths = [src]
+        else:
+            import repro
+            paths = [pathlib.Path(repro.__file__).parent]
+    try:
+        report = analysis.lint_paths(paths, assume_sim=args.assume_sim,
+                                     rules=rules)
+    except (ValueError, OSError, SyntaxError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(analysis.render_json(report))
+    else:
+        print(analysis.render_text(report))
+    return 0 if report.ok else 1
+
+
 def cmd_perf(args) -> int:
     """``repro perf``: run the performance regression harness.
 
@@ -265,10 +307,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "scenarios on the simulated testbed.")
     sub = p.add_subparsers(dest="command", required=True)
 
+    #: Shared by every simulation-running subcommand.
+    sim_common = argparse.ArgumentParser(add_help=False)
+    sim_common.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the runtime scheduler sanitizer (invariant checks "
+             "after every scheduling decision; slower)")
+
     sub.add_parser("list", help="list figures/workloads/schedulers") \
         .set_defaults(func=cmd_list)
 
-    fp = sub.add_parser("figure", help="rerun one paper figure")
+    fp = sub.add_parser("figure", help="rerun one paper figure",
+                        parents=[sim_common])
     fp.add_argument("name", help="e.g. fig07 (see `repro list`)")
     fp.add_argument("--scale", type=float, default=None,
                     help="workload scale factor")
@@ -279,7 +329,8 @@ def build_parser() -> argparse.ArgumentParser:
     fp.add_argument("--csv", metavar="PATH", help="export CSV")
     fp.set_defaults(func=cmd_figure)
 
-    rp = sub.add_parser("run", help="one single-VM scenario")
+    rp = sub.add_parser("run", help="one single-VM scenario",
+                        parents=[sim_common])
     rp.add_argument("--workload", default="LU")
     rp.add_argument("--scheduler", default="credit", choices=SCHEDULERS)
     rp.add_argument("--rate", type=float, default=0.4,
@@ -291,14 +342,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="guest introspection + co-online fraction")
     rp.set_defaults(func=cmd_run)
 
-    sp = sub.add_parser("sweep", help="online-rate sweep across schedulers")
+    sp = sub.add_parser("sweep", help="online-rate sweep across schedulers",
+                        parents=[sim_common])
     sp.add_argument("--workload", default="LU")
     sp.add_argument("--schedulers", default="credit,asman")
     sp.add_argument("--scale", type=float, default=0.4)
     sp.add_argument("--seed", type=int, default=1)
     sp.set_defaults(func=cmd_sweep)
 
-    jp = sub.add_parser("specjbb", help="SPECjbb warehouse sweep")
+    jp = sub.add_parser("specjbb", help="SPECjbb warehouse sweep",
+                        parents=[sim_common])
     jp.add_argument("--rate", type=float, default=0.4)
     jp.add_argument("--max-warehouses", type=int, default=8)
     jp.add_argument("--window-ms", type=float, default=1000.0)
@@ -306,7 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
     jp.add_argument("--seed", type=int, default=1)
     jp.set_defaults(func=cmd_specjbb)
 
-    pp = sub.add_parser("perf", help="performance regression harness")
+    pp = sub.add_parser("perf", help="performance regression harness",
+                        parents=[sim_common])
     pp.add_argument("--quick", action="store_true",
                     help="smaller iteration counts (CI smoke mode)")
     pp.add_argument("--only", metavar="NAMES",
@@ -322,12 +376,28 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--list", action="store_true",
                     help="list benchmark names and exit")
     pp.set_defaults(func=cmd_perf)
+
+    lp = sub.add_parser("lint", help="simlint static checker")
+    lp.add_argument("paths", nargs="*",
+                    help="files/directories to lint (default: src/repro)")
+    lp.add_argument("--format", choices=("text", "json"), default="text")
+    lp.add_argument("--rules", metavar="NAMES",
+                    help="comma-separated rule subset (see --list-rules)")
+    lp.add_argument("--list-rules", action="store_true",
+                    help="list rule names and exit")
+    lp.add_argument("--assume-sim", action="store_true",
+                    help="apply simulation-scoped rules to every file "
+                         "regardless of its package path")
+    lp.set_defaults(func=cmd_lint)
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        from repro import analysis
+        analysis.set_sanitize(True)
     return args.func(args)
 
 

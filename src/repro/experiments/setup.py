@@ -12,6 +12,8 @@ from typing import Dict, List, Optional, Type
 
 import numpy as np
 
+from repro.analysis import sanitize_enabled
+from repro.analysis.sanitizer import SchedulerSanitizer
 from repro.asman.inference import ExternalVcrdMonitor, InferenceConfig
 from repro.asman.monitor import MonitoringModule
 from repro.config import (GuestConfig, MachineConfig, MonitorConfig,
@@ -75,7 +77,8 @@ class Testbed:
     def __init__(self, scheduler: str = "credit", num_pcpus: int = 8,
                  seed: int = 1,
                  sched_config: Optional[SchedulerConfig] = None,
-                 machine_config: Optional[MachineConfig] = None) -> None:
+                 machine_config: Optional[MachineConfig] = None,
+                 sanitize: Optional[bool] = None) -> None:
         self.sim = Simulator()
         self.trace = TraceBus()
         self.rng = RngStreams(seed)
@@ -83,6 +86,14 @@ class Testbed:
         self.machine = Machine(mcfg, self.sim)
         self.scheduler: SchedulerBase = make_scheduler(scheduler)(
             self.machine, self.sim, self.trace, sched_config)
+        #: Runtime invariant checker (``sanitize=True``, the ``--sanitize``
+        #: CLI flag or ``REPRO_SANITIZE=1``); None in the default path.
+        self.sanitizer: Optional[SchedulerSanitizer] = None
+        if sanitize is None:
+            sanitize = sanitize_enabled()
+        if sanitize:
+            self.sanitizer = SchedulerSanitizer(self.scheduler)
+            self.scheduler.sanitizer = self.sanitizer
         self.hypercalls = HypercallTable(self.sim, self.trace)
         self.vms: Dict[str, VM] = {}
         self.guests: Dict[str, GuestKernel] = {}
@@ -150,6 +161,8 @@ class Testbed:
         if workload is not None:
             kernel = GuestKernel(vm, self.sim, self.trace, cfg.guest)
             self.guests[name] = kernel
+            if self.sanitizer is not None:
+                kernel.sanitizer = self.sanitizer
             if monitored is None:
                 monitored = self.scheduler_name == "asman"
             if monitored in (True, "guest"):

@@ -78,6 +78,9 @@ class GuestKernel:
 
         #: The ASMan Monitoring Module, when installed (see repro.asman).
         self.monitor = None
+        #: Runtime invariant checker, when attached (repro.analysis);
+        #: observes completed spinlock waits for LHP provenance.
+        self.sanitizer = None
         self._done_callbacks: List[Callable[[], None]] = []
         self._spawn_rr = 0
         # Workload-completion counters: ``finished`` is polled once per
@@ -418,6 +421,8 @@ class GuestKernel:
                             vm=self.vm.name, lock=lock.name, wait=wait)
         if self.monitor is not None:
             self.monitor.on_spinlock_wait(lock, wait)
+        if self.sanitizer is not None:
+            self.sanitizer.note_spin_wait(self.vm, lock, wait)
 
     # -- timed sleep ------------------------------------------------------#
     def _m_timed_sleep(self, cycles: int):

@@ -90,6 +90,8 @@ class Machine:
     In the paper's notation this is P = {P0, ..., P_{|P|-1}}.
     """
 
+    __slots__ = ("config", "sim", "topology", "pcpus")
+
     def __init__(self, config: MachineConfig, sim: Simulator) -> None:
         self.config = config
         self.sim = sim

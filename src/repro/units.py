@@ -7,8 +7,10 @@ exact and reproducible: there is no floating-point drift between runs, and
 two events can never be "almost simultaneous".
 
 The helpers below convert between wall-clock units and cycles.  Conversions
-*to* cycles round down to the nearest cycle; conversions *from* cycles return
-floats.
+*to* cycles truncate deterministically toward zero and reject NaN, infinite
+and negative inputs — a poisoned duration must fail at the conversion
+boundary, not propagate into the event heap as a nonsensical timestamp.
+Conversions *from* cycles return floats.
 """
 
 from __future__ import annotations
@@ -22,19 +24,38 @@ CYCLES_PER_MS: int = CPU_HZ // 1_000
 CYCLES_PER_S: int = CPU_HZ
 
 
+def _to_cycles(value: float, scale: int, unit: str) -> int:
+    """Shared producer: validate, then truncate toward zero.
+
+    Truncation (not bankers' rounding) is the deterministic choice every
+    caller has relied on since the seed; validation is new — ``NaN``
+    comparisons are always false, so without the explicit check a NaN
+    would silently become a bogus ``int(nan * scale)`` ValueError deep
+    inside the event engine instead of a clear message here.
+    """
+    if value != value:  # NaN: the only value unequal to itself
+        raise ValueError(f"cannot convert NaN {unit} to cycles")
+    if value in (float("inf"), float("-inf")):
+        raise ValueError(f"cannot convert infinite {unit} to cycles")
+    if value < 0:
+        raise ValueError(
+            f"negative durations are invalid: {value!r} {unit}")
+    return int(value * scale)
+
+
 def ms(value: float) -> int:
-    """Convert milliseconds to integer cycles."""
-    return int(value * CYCLES_PER_MS)
+    """Convert milliseconds to integer cycles (truncating)."""
+    return _to_cycles(value, CYCLES_PER_MS, "ms")
 
 
 def us(value: float) -> int:
-    """Convert microseconds to integer cycles."""
-    return int(value * CYCLES_PER_US)
+    """Convert microseconds to integer cycles (truncating)."""
+    return _to_cycles(value, CYCLES_PER_US, "us")
 
 
 def seconds(value: float) -> int:
-    """Convert seconds to integer cycles."""
-    return int(value * CYCLES_PER_S)
+    """Convert seconds to integer cycles (truncating)."""
+    return _to_cycles(value, CYCLES_PER_S, "s")
 
 
 def to_ms(cycles: int) -> float:

@@ -162,7 +162,7 @@ class AdaptiveScheduler(SchedulerBase):
             # Prefer the socket where most of the gang already sits.
             topo = self.machine.topology
             counts: dict = {}
-            for pid in occupied:
+            for pid in sorted(occupied):
                 s = topo.socket_of(pid)
                 counts[s] = counts.get(s, 0) + 1
             target_socket = max(counts, key=lambda s: counts[s])

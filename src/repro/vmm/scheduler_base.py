@@ -24,7 +24,7 @@ coscheduling (CON) and ASMan.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.config import SchedulerConfig
 from repro.errors import ConfigurationError, SchedulerInvariantError
@@ -33,6 +33,9 @@ from repro.hardware.machine import Machine, PCPU
 from repro.sim.engine import Simulator
 from repro.sim.tracing import TraceBus
 from repro.vmm.vm import VCPU, VM, VCPUState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import SchedulerSanitizer
 
 
 class SchedulerBase:
@@ -70,6 +73,10 @@ class SchedulerBase:
         #: VCPUs run in the top priority class).  Maintained only by the
         #: coscheduling subclasses; empty under the plain Credit policy.
         self._gang_until: Dict[int, int] = {}
+        #: Optional runtime invariant checker (repro.analysis.sanitizer).
+        #: None in the default path: every hook below is a single
+        #: attribute test, so the sanitizer costs nothing when off.
+        self.sanitizer: Optional["SchedulerSanitizer"] = None
         for p in machine:
             self.ipi.register(p.id, self._on_ipi)
 
@@ -94,6 +101,8 @@ class SchedulerBase:
             self._next_vm_slot += 1
             vcpu.credit = float(initial)
             self._enqueue(vcpu, pid)
+        if self.sanitizer is not None:
+            self.sanitizer.note_credit_event()
 
     def remove_vm(self, vm: VM) -> None:
         """Destroy a VM: deschedule and dequeue its VCPUs and stop giving
@@ -118,6 +127,8 @@ class SchedulerBase:
                 vcpu.state = VCPUState.BLOCKED
         self._gang_until.pop(vm.id, None)
         self.vms.remove(vm)
+        if self.sanitizer is not None:
+            self.sanitizer.note_credit_event()
 
     def start(self) -> None:
         """Install tick timers and perform the initial credit assignment.
@@ -214,6 +225,8 @@ class SchedulerBase:
         self.trace.emit(self.sim.now, "credit.assign",
                         total=cred_total, vms=len(self.vms))
         self.post_assign()
+        if self.sanitizer is not None:
+            self.sanitizer.note_assign()
 
     def _credit_split(self, vm: VM, vm_credit: float) -> List[Tuple[VCPU, float]]:
         """How a VM's per-period credit is divided among its VCPUs.
@@ -290,6 +303,11 @@ class SchedulerBase:
     def schedule(self, pcpu: PCPU) -> None:
         """Run one scheduling event on ``pcpu``: pick the best eligible
         VCPU (locally, else steal), preempting the current one if beaten."""
+        self._schedule(pcpu)
+        if self.sanitizer is not None:
+            self.sanitizer.after_schedule(pcpu)
+
+    def _schedule(self, pcpu: PCPU) -> None:
         best = self._best_local(pcpu)
         if best is None and pcpu.current is None:
             best = self._steal_for(pcpu)
@@ -450,6 +468,12 @@ class SchedulerBase:
 
     def on_vcrd_change(self, vm: VM) -> None:
         """Hook: a VM's VCRD flipped (only the Adaptive Scheduler reacts)."""
+
+    def _wants_cosched(self, vm: VM) -> bool:
+        """Does policy want this VM's VCPUs gang-scheduled right now?
+        The base credit policy never coschedules; the CON and ASMan
+        subclasses override (static hint / VCRD respectively)."""
+        return False
 
     # ------------------------------------------------------------------ #
     # IPIs

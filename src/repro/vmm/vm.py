@@ -63,6 +63,8 @@ class _NullGuest:
     """Placeholder guest for VMs created without an OS (e.g. Domain-0
     in single-VM experiments, which carries no workload)."""
 
+    __slots__ = ()
+
     def on_online(self, vcpu: "VCPU") -> None:
         # An empty guest has nothing to run: block immediately so the VMM
         # does not waste PCPU time on it.
@@ -207,6 +209,11 @@ class VM:
     blocks immediately is installed, which is exactly how the paper's idle
     Domain-0 behaves.
     """
+
+    __slots__ = (
+        "id", "config", "sim", "trace", "vcpus", "weight", "vcrd", "guest",
+        "scheduler", "destroyed", "concurrent_hint", "vcrd_changes",
+    )
 
     def __init__(self, vm_id: int, config: VMConfig, sim: Simulator,
                  trace: TraceBus) -> None:

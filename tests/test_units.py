@@ -33,6 +33,42 @@ class TestConversions:
         assert units.CYCLES_PER_US * 1_000_000 <= units.CPU_HZ
 
 
+class TestProducerValidation:
+    """ms/us/seconds reject poisoned inputs at the conversion boundary
+    instead of propagating them into the event heap."""
+
+    @pytest.mark.parametrize("producer",
+                             [units.ms, units.us, units.seconds])
+    def test_nan_rejected(self, producer):
+        with pytest.raises(ValueError, match="NaN"):
+            producer(float("nan"))
+
+    @pytest.mark.parametrize("producer",
+                             [units.ms, units.us, units.seconds])
+    @pytest.mark.parametrize("sign", [1.0, -1.0])
+    def test_infinity_rejected(self, producer, sign):
+        with pytest.raises(ValueError, match="infinite"):
+            producer(sign * float("inf"))
+
+    @pytest.mark.parametrize("producer",
+                             [units.ms, units.us, units.seconds])
+    def test_negative_rejected(self, producer):
+        with pytest.raises(ValueError, match="negative"):
+            producer(-1)
+        with pytest.raises(ValueError, match="negative"):
+            producer(-0.001)
+
+    def test_truncation_unchanged_for_valid_inputs(self):
+        # The seed's behaviour (int() truncation toward zero) must be
+        # preserved exactly — event timestamps depend on it.
+        assert units.ms(0.1) == int(0.1 * units.CYCLES_PER_MS)
+        assert units.us(1.7) == int(1.7 * units.CYCLES_PER_US)
+        assert units.seconds(2.5) == int(2.5 * units.CYCLES_PER_S)
+
+    def test_deterministic_across_calls(self):
+        assert all(units.ms(3.3) == units.ms(3.3) for _ in range(100))
+
+
 class TestLog2Cycles:
     def test_exact_powers(self):
         assert units.log2_cycles(1024) == pytest.approx(10.0)
