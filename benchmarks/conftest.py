@@ -4,6 +4,12 @@ Each benchmark runs one figure's experiment under pytest-benchmark timing
 and writes the reproduced series to ``benchmarks/results/<figure>.txt`` so
 the output survives pytest's capture.  EXPERIMENTS.md embeds these files'
 contents as the measured side of the paper-vs-measured comparison.
+
+The whole session shares one parallel-fabric result cache: figures that
+revisit a cell another benchmark already simulated (same canonical spec)
+get it for free.  Running with ``-p repro.parallel`` instead installs a
+persistent cache (``.repro-cache/``) plus ``--jobs`` fan-out; this
+fixture then leaves that configuration alone.
 """
 
 from __future__ import annotations
@@ -13,6 +19,21 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def fabric_cache(tmp_path_factory):
+    """Share one result cache across every benchmark in the session."""
+    from repro import parallel
+
+    existing = parallel.get_default_cache()
+    if existing is not None:  # -p repro.parallel already configured one
+        yield existing
+        return
+    cache = parallel.ResultCache(tmp_path_factory.mktemp("repro-cache"))
+    parallel.set_default_cache(cache)
+    yield cache
+    parallel.set_default_cache(None)
 
 
 @pytest.fixture

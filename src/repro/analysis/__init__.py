@@ -20,6 +20,8 @@ from repro.analysis.sanitizer import SanitizerViolation, SchedulerSanitizer
 from repro.analysis.simlint import (
     LintReport,
     RULES,
+    SIM_PACKAGES,
+    TOOLING_PACKAGES,
     Violation,
     lint_file,
     lint_paths,
@@ -31,8 +33,10 @@ from repro.analysis.simlint import (
 __all__ = [
     "LintReport",
     "RULES",
+    "SIM_PACKAGES",
     "SanitizerViolation",
     "SchedulerSanitizer",
+    "TOOLING_PACKAGES",
     "Violation",
     "lint_file",
     "lint_paths",

@@ -101,6 +101,12 @@ RULES: Dict[str, str] = {
 #: Sub-packages whose code executes inside the simulated world.
 SIM_PACKAGES: Tuple[str, ...] = ("sim", "vmm", "guest", "asman", "hardware")
 
+#: Host-side tooling sub-packages: code that orchestrates simulations
+#: from outside (process pools, on-disk caches, benchmark timing, this
+#: checker itself) and legitimately touches wall clocks and the OS.
+#: Sim-scoped rules never apply here, even under ``--assume-sim``.
+TOOLING_PACKAGES: Tuple[str, ...] = ("parallel", "perf", "analysis")
+
 #: (subpackage, module) pairs holding per-event ("hot tier") classes.
 HOT_MODULES: Set[Tuple[str, str]] = {
     ("sim", "engine"),
@@ -599,6 +605,9 @@ def _scope_of(path: Path, assume_sim: bool) -> Tuple[bool, bool]:
             sim_scope = True
             if len(rel) == 2 and (rel[0], rel[1][:-3]) in HOT_MODULES:
                 hot = True
+        elif rel and rel[0] in TOOLING_PACKAGES:
+            # Explicitly host-side: pool timing, cache I/O, bench clocks.
+            sim_scope = False
     return sim_scope, hot
 
 

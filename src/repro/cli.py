@@ -18,6 +18,12 @@ the runtime scheduler sanitizer (``repro.analysis.sanitizer``) to all
 testbeds built in this process; ``REPRO_SANITIZE=1`` does the same from
 the environment.
 
+The parallel experiment fabric (``repro.parallel``) adds ``--jobs N|auto``
+(also ``REPRO_JOBS``) to fan independent scenario cells out over worker
+processes, and a content-addressed result cache under ``.repro-cache/``
+that is on by default — ``--no-cache`` disables it, ``--cache-dir``
+relocates it.  Results are bit-identical at any job count.
+
 Everything the CLI does goes through the same public API the examples
 use; it adds no behaviour, only ergonomics.
 """
@@ -30,8 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import units
 from repro.experiments import figures as F
-from repro.experiments.runner import (PAPER_RATES, run_single_vm,
-                                      run_specjbb)
+from repro.experiments.runner import PAPER_RATES
 from repro.metrics import ascii_plot
 from repro.metrics.export import figure_to_csv, figure_to_json, write_text
 from repro.metrics.report import Table
@@ -62,6 +67,19 @@ def _workload_factory(name: str, scale: float):
         return lambda: NasBenchmark.by_name(name.upper(), scale=scale)
     if name in SPEC_CPU_PROFILES:
         return lambda: SpecCpuRateWorkload.by_name(name, scale=scale)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose a NAS benchmark "
+        f"({', '.join(NAS_PROFILES)}) or SPEC CPU "
+        f"({', '.join(SPEC_CPU_PROFILES)})")
+
+
+def _workload_spec(name: str, scale: float):
+    """Map a CLI workload name to a declarative (cellable) WorkloadSpec."""
+    from repro.parallel import WorkloadSpec
+    if name.upper() in NAS_PROFILES:
+        return WorkloadSpec("nas", name.upper(), scale=scale)
+    if name in SPEC_CPU_PROFILES:
+        return WorkloadSpec("speccpu", name, scale=scale)
     raise SystemExit(
         f"unknown workload {name!r}; choose a NAS benchmark "
         f"({', '.join(NAS_PROFILES)}) or SPEC CPU "
@@ -113,12 +131,16 @@ def cmd_figure(args) -> int:
 
 def cmd_run(args) -> int:
     """``repro run``: one single-VM scenario (optionally verbose)."""
-    factory = _workload_factory(args.workload, args.scale)
     if args.verbose:
-        return _run_verbose(args, factory)
-    r = run_single_vm(factory, scheduler=args.scheduler,
-                      online_rate=args.rate, seed=args.seed,
-                      collect_scatter=True)
+        return _run_verbose(args, _workload_factory(args.workload,
+                                                    args.scale))
+    from repro.experiments.runner import SingleVmResult
+    from repro.parallel import run_cells, single_vm_cell
+    spec = single_vm_cell(_workload_spec(args.workload, args.scale),
+                          scheduler=args.scheduler, online_rate=args.rate,
+                          seed=args.seed, collect_scatter=True)
+    r = run_cells([spec]).value(spec)
+    assert isinstance(r, SingleVmResult)
     print(f"workload={args.workload} scheduler={args.scheduler} "
           f"rate={args.rate:.3f} seed={args.seed}")
     print(f"runtime: {r.runtime_seconds:.3f} s "
@@ -167,37 +189,63 @@ def _run_verbose(args, factory) -> int:
 
 
 def cmd_sweep(args) -> int:
-    """``repro sweep``: the paper-rate sweep across schedulers."""
-    factory_for = lambda: _workload_factory(args.workload, args.scale)()
+    """``repro sweep``: the paper-rate sweep across schedulers.
+
+    The whole (rate x scheduler) grid plus the rate-1.0 base run is one
+    cell batch, so ``--jobs`` parallelises it and reruns are cache hits.
+    """
+    from repro.experiments.runner import SingleVmResult
+    from repro.parallel import run_cells, single_vm_cell
+
+    wl = _workload_spec(args.workload, args.scale)
     scheds: List[str] = args.schedulers.split(",")
     for s in scheds:
         if s not in SCHEDULERS:
             raise SystemExit(f"unknown scheduler {s!r}")
-    base = run_single_vm(factory_for, scheduler=scheds[0],
-                         online_rate=1.0, seed=args.seed)
+    base_spec = single_vm_cell(wl, scheduler=scheds[0], online_rate=1.0,
+                               seed=args.seed)
+    grid = {(rate, sched): single_vm_cell(wl, scheduler=sched,
+                                          online_rate=rate, seed=args.seed)
+            for rate in PAPER_RATES for sched in scheds}
+    results = run_cells([base_spec, *grid.values()])
+
+    def runtime(spec) -> float:
+        r = results.value(spec)
+        assert isinstance(r, SingleVmResult)
+        return r.runtime_seconds
+
+    base = runtime(base_spec)
     table = Table(["rate_%", "ideal"] + [f"{s}_sd" for s in scheds],
                   title=f"{args.workload} slowdown sweep")
     for rate in PAPER_RATES:
         row = [round(rate * 100, 1), ideal_slowdown(rate)]
         for sched in scheds:
-            r = run_single_vm(factory_for, scheduler=sched,
-                              online_rate=rate, seed=args.seed)
-            row.append(r.runtime_seconds / base.runtime_seconds)
+            row.append(runtime(grid[(rate, sched)]) / base)
         table.add_row(*row)
     print(table)
     return 0
 
 
 def cmd_specjbb(args) -> int:
-    """``repro specjbb``: warehouse sweep at one online rate."""
-    table = Table(["warehouses"] + list(args.schedulers.split(",")),
+    """``repro specjbb``: warehouse sweep at one online rate, batched
+    as one (warehouse x scheduler) cell grid over the fabric."""
+    from repro.experiments.runner import SpecJbbResult
+    from repro.parallel import run_cells, specjbb_cell
+
+    scheds = args.schedulers.split(",")
+    warehouses = range(1, args.max_warehouses + 1)
+    grid = {(w, sched): specjbb_cell(
+                w, scheduler=sched, online_rate=args.rate,
+                window_cycles=units.ms(args.window_ms), seed=args.seed)
+            for w in warehouses for sched in scheds}
+    results = run_cells(list(grid.values()))
+    table = Table(["warehouses"] + scheds,
                   title=f"SPECjbb bops at rate {args.rate:.3f}")
-    for w in range(1, args.max_warehouses + 1):
-        row = [w]
-        for sched in args.schedulers.split(","):
-            r = run_specjbb(w, scheduler=sched, online_rate=args.rate,
-                            window_cycles=units.ms(args.window_ms),
-                            seed=args.seed)
+    for w in warehouses:
+        row: List[object] = [w]
+        for sched in scheds:
+            r = results.value(grid[(w, sched)])
+            assert isinstance(r, SpecJbbResult)
             row.append(r.bops)
         table.add_row(*row)
     print(table)
@@ -314,11 +362,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach the runtime scheduler sanitizer (invariant checks "
              "after every scheduling decision; slower)")
 
+    #: Parallel-fabric options, shared by every cell-batched subcommand.
+    fabric_common = argparse.ArgumentParser(add_help=False)
+    fabric_common.add_argument(
+        "--jobs", metavar="N|auto", default=None,
+        help="fan independent scenario cells out over N worker "
+             "processes ('auto' = one per CPU; default: $REPRO_JOBS or 1)")
+    fabric_common.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-addressed result cache")
+    fabric_common.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result cache directory (default .repro-cache or "
+             "$REPRO_CACHE_DIR)")
+
     sub.add_parser("list", help="list figures/workloads/schedulers") \
         .set_defaults(func=cmd_list)
 
     fp = sub.add_parser("figure", help="rerun one paper figure",
-                        parents=[sim_common])
+                        parents=[sim_common, fabric_common])
     fp.add_argument("name", help="e.g. fig07 (see `repro list`)")
     fp.add_argument("--scale", type=float, default=None,
                     help="workload scale factor")
@@ -330,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
     fp.set_defaults(func=cmd_figure)
 
     rp = sub.add_parser("run", help="one single-VM scenario",
-                        parents=[sim_common])
+                        parents=[sim_common, fabric_common])
     rp.add_argument("--workload", default="LU")
     rp.add_argument("--scheduler", default="credit", choices=SCHEDULERS)
     rp.add_argument("--rate", type=float, default=0.4,
@@ -343,7 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp.set_defaults(func=cmd_run)
 
     sp = sub.add_parser("sweep", help="online-rate sweep across schedulers",
-                        parents=[sim_common])
+                        parents=[sim_common, fabric_common])
     sp.add_argument("--workload", default="LU")
     sp.add_argument("--schedulers", default="credit,asman")
     sp.add_argument("--scale", type=float, default=0.4)
@@ -351,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_sweep)
 
     jp = sub.add_parser("specjbb", help="SPECjbb warehouse sweep",
-                        parents=[sim_common])
+                        parents=[sim_common, fabric_common])
     jp.add_argument("--rate", type=float, default=0.4)
     jp.add_argument("--max-warehouses", type=int, default=8)
     jp.add_argument("--window-ms", type=float, default=1000.0)
@@ -360,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     jp.set_defaults(func=cmd_specjbb)
 
     pp = sub.add_parser("perf", help="performance regression harness",
-                        parents=[sim_common])
+                        parents=[sim_common, fabric_common])
     pp.add_argument("--quick", action="store_true",
                     help="smaller iteration counts (CI smoke mode)")
     pp.add_argument("--only", metavar="NAMES",
@@ -392,13 +454,53 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def _configure_fabric(args):
+    """Install fabric defaults (worker count + cache) from CLI options.
+
+    Returns the installed :class:`~repro.parallel.ResultCache` (or
+    ``None`` for fabric-less subcommands / ``--no-cache``) so ``main``
+    can print a one-line traffic summary afterwards.
+    """
+    if not hasattr(args, "no_cache"):
+        return None  # subcommand without fabric options (list/lint)
+    from repro import parallel
+    if args.jobs is not None:
+        parallel.set_default_jobs(args.jobs)
+    if args.no_cache:
+        parallel.set_default_cache(None)
+        return None
+    cache = parallel.get_default_cache()
+    if cache is None:
+        cache = parallel.ResultCache(args.cache_dir)
+        parallel.set_default_cache(cache)
+    return cache
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
     if getattr(args, "sanitize", False):
         from repro import analysis
         analysis.set_sanitize(True)
-    return args.func(args)
+    if not hasattr(args, "no_cache"):
+        return int(args.func(args))
+    from repro import parallel
+    saved_jobs = parallel.get_default_jobs()
+    saved_cache = parallel.get_default_cache()
+    cache = _configure_fabric(args)
+    try:
+        status = args.func(args)
+        # Stderr, so piping stdout (series, tables, JSON) stays
+        # byte-stable whether the run was cold or warm.
+        if cache is not None and (cache.hits or cache.misses
+                                  or cache.stores):
+            print(cache.describe(), file=sys.stderr)
+        return int(status)
+    finally:
+        # main() is library-callable (tests, scripts): leave the
+        # process-wide fabric defaults the way we found them.
+        parallel.set_default_jobs(saved_jobs)
+        parallel.set_default_cache(saved_cache)
 
 
 if __name__ == "__main__":  # pragma: no cover

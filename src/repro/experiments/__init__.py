@@ -9,15 +9,16 @@ the series each figure plots.
 
 from repro.experiments.setup import Testbed, weight_for_rate, make_scheduler
 from repro.experiments.runner import (
-    SingleVmResult, MultiVmResult, run_single_vm, run_multi_vm,
-    run_specjbb, PAPER_RATES,
+    SingleVmResult, MultiVmResult, SpecJbbResult, run_single_vm,
+    run_multi_vm, run_specjbb, run_cells, PAPER_RATES,
 )
 from repro.experiments.sweeps import Sweep, SweepResult
 from repro.experiments.calibration import CalibrationReport, calibrate
 
 __all__ = [
     "Testbed", "weight_for_rate", "make_scheduler",
-    "SingleVmResult", "MultiVmResult",
-    "run_single_vm", "run_multi_vm", "run_specjbb", "PAPER_RATES",
+    "SingleVmResult", "MultiVmResult", "SpecJbbResult",
+    "run_single_vm", "run_multi_vm", "run_specjbb", "run_cells",
+    "PAPER_RATES",
     "Sweep", "SweepResult", "CalibrationReport", "calibrate",
 ]

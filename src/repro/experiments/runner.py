@@ -9,19 +9,38 @@ These reproduce the paper's three experimental methodologies:
   256) plus Domain-0, work-conserving mode; each benchmark loops and the
   first completed rounds are averaged while all neighbours stay loaded.
 * **SPECjbb window**: a fixed measurement window with warehouse counters.
+
+Deadline policy: a run that exhausts its simulated-time budget either
+raises :class:`~repro.errors.SimulationError` (``on_deadline="raise"``,
+the default) or returns a structured result with ``finished=False``
+(``on_deadline="return"``).  The structured form is pickle-friendly, so
+a timed-out cell crossing a process-pool boundary reports *what* timed
+out instead of poisoning the whole batch.
+
+Batch execution: :func:`run_cells` fans a list of declarative
+:class:`~repro.parallel.cells.CellSpec` out over the parallel experiment
+fabric (process pool + content-addressed result cache) and merges the
+results deterministically — see :mod:`repro.parallel`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro import units
 from repro.config import SchedulerConfig
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.setup import Testbed, weight_for_rate
+from repro.metrics.fairness import FairnessReport
 from repro.workloads.base import Workload
 from repro.workloads.specjbb import SpecJbbWorkload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.cache import ResultCache
+    from repro.parallel.cells import CellSpec
+    from repro.parallel.executor import CellResults
 
 #: The paper's four VCPU online rates (Section 5.2).
 PAPER_RATES: Tuple[float, ...] = (1.0, 2.0 / 3.0, 0.4, 2.0 / 9.0)
@@ -30,12 +49,27 @@ PAPER_RATES: Tuple[float, ...] = (1.0, 2.0 / 3.0, 0.4, 2.0 / 9.0)
 #: rather than looping forever (a scheduler bug would otherwise hang).
 DEFAULT_DEADLINE = units.seconds(240)
 
+#: SPECjbb measurement defaults (Figure 10's fixed window).
+DEFAULT_SPECJBB_WINDOW = units.seconds(2)
+DEFAULT_SPECJBB_WARMUP = units.ms(200)
+
 WorkloadFactory = Callable[[], Workload]
+
+
+def _check_on_deadline(on_deadline: str) -> None:
+    if on_deadline not in ("raise", "return"):
+        raise ConfigurationError(
+            f"on_deadline must be 'raise' or 'return', got {on_deadline!r}")
 
 
 @dataclass
 class SingleVmResult:
-    """Outcome of one single-VM run."""
+    """Outcome of one single-VM run.
+
+    ``finished=False`` marks a run that hit its deadline: runtime fields
+    then cover the simulated time actually executed, and the spinlock
+    statistics summarise the truncated run.
+    """
 
     scheduler: str
     online_rate: float
@@ -49,6 +83,16 @@ class SingleVmResult:
     monitor_stats: Optional[Dict[str, int]] = None
     vcrd_changes: int = 0
     finished: bool = True
+    #: Simulator events executed — the perf fabric's throughput unit.
+    events_executed: int = 0
+
+    def raise_if_unfinished(self) -> "SingleVmResult":
+        if not self.finished:
+            raise SimulationError(
+                f"single-VM run ({self.scheduler}, "
+                f"rate={self.online_rate:.3f}) did not finish within "
+                f"{self.runtime_seconds:.0f} simulated seconds")
+        return self
 
 
 def run_single_vm(workload_factory: WorkloadFactory,
@@ -58,11 +102,15 @@ def run_single_vm(workload_factory: WorkloadFactory,
                   num_pcpus: int = 8,
                   num_vcpus: int = 4,
                   deadline_cycles: int = DEFAULT_DEADLINE,
-                  collect_scatter: bool = False) -> SingleVmResult:
+                  collect_scatter: bool = False,
+                  sched_config: Optional[SchedulerConfig] = None,
+                  on_deadline: str = "raise") -> SingleVmResult:
     """Section 5.2's scenario: V1 + idle Domain-0, NWC mode."""
+    _check_on_deadline(on_deadline)
     weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
                              num_vcpus=num_vcpus)
-    cfg = SchedulerConfig(work_conserving=False)
+    cfg = sched_config if sched_config is not None \
+        else SchedulerConfig(work_conserving=False)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
                  sched_config=cfg)
     tb.add_domain0()
@@ -71,32 +119,39 @@ def run_single_vm(workload_factory: WorkloadFactory,
                    workload=workload, concurrent_hint=True)
     finished = tb.run_until_workloads_done(["V1"],
                                            deadline_cycles=deadline_cycles)
-    if not finished:
+    if not finished and on_deadline == "raise":
         raise SimulationError(
             f"single-VM run ({scheduler}, rate={online_rate:.3f}) did not "
             f"finish within {units.to_seconds(deadline_cycles):.0f} "
             f"simulated seconds")
     stats = tb.spin_stats("V1")
     monitor = tb.monitors.get("V1")
+    end_cycle = tb.guests["V1"].finished_at if finished else tb.sim.now
     return SingleVmResult(
         scheduler=scheduler,
         online_rate=online_rate,
         weight=weight,
-        runtime_cycles=tb.guests["V1"].finished_at,
-        runtime_seconds=units.to_seconds(tb.guests["V1"].finished_at),
+        runtime_cycles=end_cycle,
+        runtime_seconds=units.to_seconds(end_cycle),
         measured_online_rate=tb.measured_online_rate("V1"),
         spin_summary=stats.summary(),
         spin_scatter=stats.scatter() if collect_scatter else [],
         over_threshold_times=stats.over_threshold_times(),
         monitor_stats=monitor.stats() if monitor else None,
         vcrd_changes=vm.vcrd_changes,
-        finished=True,
+        finished=finished,
+        events_executed=tb.sim.events_executed,
     )
 
 
 @dataclass
 class MultiVmResult:
-    """Outcome of one multi-VM mix."""
+    """Outcome of one multi-VM mix.
+
+    On an unfinished run (``finished=False``), ``round_seconds`` holds
+    only the VMs that completed ``rounds_measured`` rounds before the
+    deadline; ``labels`` always covers every VM.
+    """
 
     scheduler: str
     #: vm name -> mean round time in seconds (the paper's averaged run time).
@@ -105,6 +160,15 @@ class MultiVmResult:
     labels: Dict[str, str] = field(default_factory=dict)
     rounds_measured: int = 0
     fairness_jains: float = 1.0
+    finished: bool = True
+    events_executed: int = 0
+
+    def raise_if_unfinished(self) -> "MultiVmResult":
+        if not self.finished:
+            raise SimulationError(
+                f"multi-VM run ({self.scheduler}) did not reach "
+                f"{self.rounds_measured} rounds before its deadline")
+        return self
 
 
 def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
@@ -113,7 +177,9 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
                  num_pcpus: int = 8,
                  num_vcpus: int = 4,
                  measure_rounds: int = 2,
-                 deadline_cycles: int = DEFAULT_DEADLINE) -> MultiVmResult:
+                 deadline_cycles: int = DEFAULT_DEADLINE,
+                 sched_config: Optional[SchedulerConfig] = None,
+                 on_deadline: str = "raise") -> MultiVmResult:
     """Section 5.3's scenario: several weight-256 VMs, WC mode.
 
     ``assignments`` is a list of (vm_name, workload_factory, concurrent)
@@ -122,9 +188,11 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
     running when the slowest VM completes ``measure_rounds`` rounds —
     exactly the paper's batch-program methodology.
     """
+    _check_on_deadline(on_deadline)
     if not assignments:
         raise ConfigurationError("need at least one VM assignment")
-    cfg = SchedulerConfig(work_conserving=True)
+    cfg = sched_config if sched_config is not None \
+        else SchedulerConfig(work_conserving=True)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
                  sched_config=cfg)
     tb.add_domain0()
@@ -144,18 +212,21 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
         lambda: all(w.rounds_completed() >= measure_rounds
                     for w in workloads.values()),
         deadline=deadline_cycles)
-    if not done:
+    if not done and on_deadline == "raise":
         raise SimulationError(
             f"multi-VM run ({scheduler}) did not reach {measure_rounds} "
             f"rounds within {units.to_seconds(deadline_cycles):.0f} "
             f"simulated seconds")
-    result = MultiVmResult(scheduler=scheduler, rounds_measured=measure_rounds)
+    result = MultiVmResult(scheduler=scheduler,
+                           rounds_measured=measure_rounds,
+                           finished=done,
+                           events_executed=tb.sim.events_executed)
     for name, wl in workloads.items():
-        result.round_seconds[name] = units.to_seconds(
-            int(wl.mean_round_cycles(measure_rounds)))
         result.labels[name] = wl.name
+        if wl.rounds_completed() >= measure_rounds:
+            result.round_seconds[name] = units.to_seconds(
+                int(wl.mean_round_cycles(measure_rounds)))
     # Fairness check over the guest VMs (Domain-0 is idle).
-    from repro.metrics.fairness import FairnessReport
     guests = [tb.vms[n] for n, _, _ in assignments]
     if tb.sim.now > 0:
         report = FairnessReport(guests, tb.sim.now, len(tb.machine))
@@ -170,21 +241,25 @@ class SpecJbbResult:
     warehouses: int
     bops: float
     window_seconds: float
+    events_executed: int = 0
 
 
 def run_specjbb(warehouses: int,
                 scheduler: str = "credit",
                 online_rate: float = 1.0,
-                window_cycles: int = units.seconds(2),
-                warmup_cycles: int = units.ms(200),
+                window_cycles: int = DEFAULT_SPECJBB_WINDOW,
+                warmup_cycles: int = DEFAULT_SPECJBB_WARMUP,
                 seed: int = 1,
                 num_pcpus: int = 8,
-                num_vcpus: int = 4) -> SpecJbbResult:
+                num_vcpus: int = 4,
+                sched_config: Optional[SchedulerConfig] = None
+                ) -> SpecJbbResult:
     """Figure 10's scenario: V1 runs SPECjbb with W warehouses; bops are
     counted over a fixed window after a short warm-up."""
     weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
                              num_vcpus=num_vcpus)
-    cfg = SchedulerConfig(work_conserving=False)
+    cfg = sched_config if sched_config is not None \
+        else SchedulerConfig(work_conserving=False)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
                  sched_config=cfg)
     tb.add_domain0()
@@ -198,4 +273,21 @@ def run_specjbb(warehouses: int,
     bops = (after - before) / units.to_seconds(window_cycles)
     return SpecJbbResult(scheduler=scheduler, online_rate=online_rate,
                          warehouses=warehouses, bops=bops,
-                         window_seconds=units.to_seconds(window_cycles))
+                         window_seconds=units.to_seconds(window_cycles),
+                         events_executed=tb.sim.events_executed)
+
+
+def run_cells(specs: Iterable["CellSpec"],
+              jobs: Optional[Union[int, str]] = None,
+              cache: Optional["ResultCache"] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> "CellResults":
+    """Batch entry point: run declarative cells on the parallel fabric.
+
+    Thin re-export of :func:`repro.parallel.executor.run_cells` so
+    experiment code can stay within ``repro.experiments``; see
+    :mod:`repro.parallel` for the CellSpec vocabulary, job resolution
+    (``jobs``/``REPRO_JOBS``/fabric default) and the result cache.
+    """
+    from repro.parallel.executor import run_cells as _run_cells
+    return _run_cells(specs, jobs=jobs, cache=cache, progress=progress)

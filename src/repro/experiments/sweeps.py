@@ -4,6 +4,13 @@ The figure drivers report means; reviewers (and CI flakiness hunts) want
 dispersion too.  :class:`Sweep` runs a cartesian grid of scenario
 parameters over several seeds and aggregates mean / standard deviation /
 a normal-approximation confidence half-width per cell.
+
+Grid execution rides the parallel experiment fabric: ``Sweep.run(jobs=4)``
+evaluates the (params, seed) points over a spawn-safe process pool via
+:func:`repro.parallel.pool_map`.  The scenario callable and its returns
+must pickle for ``jobs > 1`` — module-level functions qualify, closures
+do not (they raise at submission time, not silently).  Point order, and
+therefore cell/value order, is identical at any job count.
 """
 
 from __future__ import annotations
@@ -11,7 +18,8 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import (Callable, Dict, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.errors import ConfigurationError
 from repro.metrics.report import Table
@@ -20,12 +28,34 @@ from repro.metrics.report import Table
 Scenario = Callable[[Mapping[str, object], int], float]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Cell:
-    """One grid point's aggregated measurements."""
+    """One grid point's aggregated measurements.
+
+    ``mean`` and ``std`` are computed once at construction (the value
+    tuple is immutable, so they can never go stale) and memoised in
+    ``__slots__``-backed fields — ``std``, ``cv`` and ``ci_halfwidth``
+    were previously recomputing the mean on every access, which showed
+    up in wide-grid table rendering.  The dataclass stays frozen: the
+    cached fields are ``init=False`` and written via
+    ``object.__setattr__`` exactly once, in ``__post_init__``.
+    """
 
     params: Tuple[Tuple[str, object], ...]
     values: Tuple[float, ...]
+    _mean: float = field(init=False, repr=False, compare=False)
+    _std: float = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        n = len(self.values)
+        mean = sum(self.values) / n if n else 0.0
+        if n < 2:
+            std = 0.0
+        else:
+            std = math.sqrt(sum((v - mean) ** 2 for v in self.values)
+                            / (n - 1))
+        object.__setattr__(self, "_mean", mean)
+        object.__setattr__(self, "_std", std)
 
     @property
     def n(self) -> int:
@@ -33,28 +63,23 @@ class Cell:
 
     @property
     def mean(self) -> float:
-        return sum(self.values) / self.n
+        return self._mean
 
     @property
     def std(self) -> float:
-        if self.n < 2:
-            return 0.0
-        m = self.mean
-        return math.sqrt(sum((v - m) ** 2 for v in self.values)
-                         / (self.n - 1))
+        return self._std
 
     def ci_halfwidth(self, z: float = 1.96) -> float:
         """Normal-approximation confidence half-width for the mean."""
         if self.n < 2:
             return 0.0
-        return z * self.std / math.sqrt(self.n)
+        return z * self._std / math.sqrt(self.n)
 
     @property
     def cv(self) -> float:
         """Coefficient of variation — the paper requires < 10% before
         averaging multi-VM rounds (Section 5.3)."""
-        m = self.mean
-        return self.std / m if m else 0.0
+        return self._std / self._mean if self._mean else 0.0
 
     def param(self, key: str):
         return dict(self.params)[key]
@@ -95,6 +120,16 @@ class SweepResult:
         return max((c.cv for c in self.cells), default=0.0)
 
 
+def _eval_point(task: Tuple[Scenario, Dict[str, object], int]) -> float:
+    """Evaluate one (scenario, params, seed) point.
+
+    Module-level so it pickles into process-pool workers; the scenario
+    callable rides along inside the task tuple.
+    """
+    scenario, params, seed = task
+    return float(scenario(params, seed))
+
+
 class Sweep:
     """Cartesian sweep runner."""
 
@@ -112,14 +147,27 @@ class Sweep:
         self.axes = {k: list(v) for k, v in axes.items()}
         self.seeds = list(seeds)
 
-    def run(self, progress: Callable[[str], None] | None = None) -> SweepResult:
+    def run(self, progress: Optional[Callable[[str], None]] = None,
+            jobs: Optional[Union[int, str]] = None) -> SweepResult:
+        """Run the grid; ``jobs > 1`` fans points over a process pool.
+
+        Each (params, seed) point is one task, so a grid of G cells and
+        S seeds exposes G*S-way parallelism.  Values are re-grouped per
+        cell in grid order — results are identical at any job count.
+        """
+        from repro.parallel.executor import pool_map
+
         result = SweepResult(axes=self.axes, seeds=self.seeds)
         keys = list(self.axes)
-        for combo in itertools.product(*(self.axes[k] for k in keys)):
-            params = dict(zip(keys, combo))
-            values = []
-            for seed in self.seeds:
-                values.append(float(self.scenario(params, seed)))
+        grid: List[Dict[str, object]] = [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.axes[k] for k in keys))]
+        tasks = [(self.scenario, params, seed)
+                 for params in grid for seed in self.seeds]
+        flat = pool_map(_eval_point, tasks, jobs=jobs)
+        per_cell = len(self.seeds)
+        for i, params in enumerate(grid):
+            values = flat[i * per_cell:(i + 1) * per_cell]
             if progress is not None:
                 progress(f"{params} -> {sum(values) / len(values):.4g}")
             result.cells.append(Cell(

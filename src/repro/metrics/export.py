@@ -29,6 +29,9 @@ def figure_to_json(result: "FigureResult", indent: int = 2) -> str:
                    for name, points in result.series.items()},
         "notes": dict(result.notes),
     }
+    fingerprint = getattr(result, "fingerprint", None)
+    if fingerprint is not None:
+        payload["fingerprint"] = fingerprint
     return json.dumps(payload, indent=indent, sort_keys=True)
 
 

@@ -1,0 +1,170 @@
+"""Content-addressed on-disk result cache for simulation cells.
+
+Every cell result is stored under a key that is a pure function of *what
+was simulated*: the SHA-256 of the cell's canonical spec (scenario kind,
+scheduler, rate, seed, workload, resolved :class:`SchedulerConfig`, …)
+salted with the installed ``repro`` version.  Consequences:
+
+* re-running an unchanged figure is a pure cache hit — no simulation;
+* changing **one** parameter (a seed, a scale, a scheduler knob)
+  re-keys only the affected cells, so a sweep re-simulates exactly the
+  dirty part of its grid;
+* upgrading ``repro`` invalidates everything at once — a deliberate,
+  coarse guard against stale results from changed simulation code.
+
+Entries live in ``.repro-cache/`` (override with ``REPRO_CACHE_DIR`` or
+the ``--cache-dir`` CLI/pytest options), fanned out over two-hex-char
+subdirectories.  Each entry is a pickle of the result dataclass plus a
+small JSON sidecar with the originating spec — the sidecar makes cache
+content reviewable (``python -m json.tool``) and is what the CI
+artifact's stats summarise.  Writes go through a temp file + ``os.replace``
+so concurrent writers can never expose a torn entry.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro import __version__
+from repro.parallel.cells import CellSpec
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "default_salt"]
+
+#: Default cache directory (relative to the current working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Bump to invalidate every cached result on a format change.
+CACHE_SCHEMA = 1
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_salt() -> str:
+    """Code-version salt mixed into every cache key."""
+    return f"repro-{__version__}/schema-{CACHE_SCHEMA}"
+
+
+class ResultCache:
+    """Content-addressed store mapping cell specs to pickled results."""
+
+    def __init__(self, root: Optional[object] = None,
+                 salt: Optional[str] = None) -> None:
+        if root is None:
+            root = os.environ.get(_CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.salt = salt if salt is not None else default_salt()
+        #: Per-process traffic counters (reset with the process, not the
+        #: directory) — what the CLI's one-line summary and the CI stats
+        #: artifact report.
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- keys and paths ------------------------------------------------- #
+    def key_for(self, spec: CellSpec) -> str:
+        return spec.cache_key(self.salt)
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _sidecar_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- traffic -------------------------------------------------------- #
+    def get(self, spec: CellSpec) -> Tuple[bool, object]:
+        """Look a spec up.  Returns ``(hit, value)``; value is ``None``
+        on a miss.  A corrupt or truncated entry reads as a miss."""
+        path = self._entry_path(self.key_for(spec))
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            # OSError: not cached; the rest: stale/torn entry from an
+            # older code revision — treat as absent, it will be rewritten.
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, spec: CellSpec, value: object) -> str:
+        """Store a result; returns the entry key.  Atomic via rename."""
+        key = self.key_for(spec)
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(entry, pickle.dumps(
+            value, protocol=pickle.HIGHEST_PROTOCOL))
+        sidecar = {"salt": self.salt, "spec": json.loads(spec.canonical()),
+                   "result_type": type(value).__name__}
+        self._write_atomic(self._sidecar_path(key),
+                           (json.dumps(sidecar, sort_keys=True, indent=1)
+                            + "\n").encode("utf-8"))
+        self.stores += 1
+        return key
+
+    @staticmethod
+    def _write_atomic(path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent),
+                                   prefix=path.name + ".")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+
+    # -- maintenance ---------------------------------------------------- #
+    def clear(self) -> int:
+        """Delete every entry; returns the number of entries removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in sorted(self.root.rglob("*.pkl")):
+            entry.unlink()
+            sidecar = entry.with_suffix(".json")
+            if sidecar.exists():
+                sidecar.unlink()
+            removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, object]:
+        """On-disk + in-process statistics (the CI artifact payload)."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for entry in self.root.rglob("*.pkl"):
+                entries += 1
+                size += entry.stat().st_size
+        return {
+            "root": str(self.root),
+            "salt": self.salt,
+            "entries": entries,
+            "bytes": size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def write_stats(self, path: object) -> Path:
+        """Dump :meth:`stats` as JSON (uploaded as a CI artifact)."""
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(self.stats(), sort_keys=True, indent=1)
+                       + "\n")
+        return out
+
+    def describe(self) -> str:
+        """One-line human summary for CLI output."""
+        s = self.stats()
+        return (f"cache {s['root']}: {s['hits']} hit(s), "
+                f"{s['misses']} miss(es), {s['stores']} store(s), "
+                f"{s['entries']} entr{'y' if s['entries'] == 1 else 'ies'} "
+                f"on disk")

@@ -1,0 +1,271 @@
+"""Process-pool fan-out with deterministic merge.
+
+:func:`run_cells` is the execution fabric's core: it takes a batch of
+:class:`~repro.parallel.cells.CellSpec` and produces one result per
+*distinct* spec, using
+
+1. the content-addressed cache (hits never touch a worker),
+2. a spawn-safe :class:`~concurrent.futures.ProcessPoolExecutor` for the
+   remaining cells when ``jobs > 1``,
+3. in-process serial execution when ``jobs == 1`` (no pool overhead, and
+   the reference behaviour parallel runs are gated against).
+
+Determinism contract
+--------------------
+Cells are keyed by their canonical spec; results are merged **sorted by
+key** before any aggregation, and each cell is a self-contained
+simulation seeded from its spec.  A serial run and an 8-way run of the
+same batch therefore produce bit-identical values and fingerprints —
+process scheduling can reorder *completion*, never *content*.  The
+figure drivers aggregate by iterating their own spec lists (a fixed
+order), so series are byte-stable too.
+
+Job-count resolution: explicit ``jobs`` argument > fabric default set by
+:func:`set_default_jobs` (the CLI's ``--jobs`` / pytest's ``--jobs``) >
+the ``REPRO_JOBS`` environment variable > 1.  ``"auto"`` or ``0`` means
+one worker per CPU.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, TypeVar, Union)
+
+from repro.errors import ConfigurationError
+from repro.parallel.cache import ResultCache
+from repro.parallel.cells import CellSpec, execute_cell, result_fingerprint
+
+__all__ = [
+    "CellOutcome",
+    "CellResults",
+    "get_default_cache",
+    "get_default_jobs",
+    "pool_map",
+    "resolve_jobs",
+    "run_cells",
+    "set_default_cache",
+    "set_default_jobs",
+]
+
+_JOBS_ENV = "REPRO_JOBS"
+
+#: Fabric-wide defaults, set once by the CLI / pytest plugin front-ends.
+_default_jobs: Optional[Union[int, str]] = None
+_default_cache: Optional[ResultCache] = None
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def set_default_jobs(jobs: Optional[Union[int, str]]) -> None:
+    """Set the fabric-wide default worker count (``None`` resets)."""
+    global _default_jobs
+    if jobs is not None:
+        _coerce_jobs(jobs)  # validate eagerly so bad input fails loudly
+    _default_jobs = jobs
+
+
+def get_default_jobs() -> Optional[Union[int, str]]:
+    """The fabric-wide default worker count (unresolved form)."""
+    return _default_jobs
+
+
+def set_default_cache(cache: Optional[ResultCache]) -> None:
+    """Install (or clear) the fabric-wide default result cache."""
+    global _default_cache
+    _default_cache = cache
+
+
+def get_default_cache() -> Optional[ResultCache]:
+    """The fabric-wide default result cache (``None`` = caching off)."""
+    return _default_cache
+
+
+def _coerce_jobs(jobs: Union[int, str]) -> int:
+    if isinstance(jobs, str):
+        text = jobs.strip().lower()
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            jobs = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"jobs must be a positive integer or 'auto', got {jobs!r}")
+    if jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def resolve_jobs(jobs: Optional[Union[int, str]] = None) -> int:
+    """Resolve an effective worker count from the precedence chain."""
+    if jobs is None:
+        jobs = _default_jobs
+    if jobs is None:
+        env = os.environ.get(_JOBS_ENV)
+        if env is not None and env.strip():
+            jobs = env
+    if jobs is None:
+        return 1
+    return _coerce_jobs(jobs)
+
+
+# --------------------------------------------------------------------- #
+# Pool plumbing
+# --------------------------------------------------------------------- #
+def _child_environment() -> None:
+    """Make sure spawn children can ``import repro``.
+
+    Spawned workers re-import everything from scratch; if ``repro`` was
+    imported from a source checkout that is not on ``PYTHONPATH`` (e.g.
+    ``PYTHONPATH=src`` ran from the repo root but the pool is created
+    from another working directory), prepend its location so the child's
+    interpreter finds the same package the parent runs.
+    """
+    import repro
+    pkg_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = [p for p in existing.split(os.pathsep) if p]
+    if pkg_dir not in (os.path.abspath(p) for p in parts):
+        os.environ["PYTHONPATH"] = os.pathsep.join([pkg_dir] + parts)
+
+
+def _make_pool(workers: int) -> ProcessPoolExecutor:
+    _child_environment()
+    ctx = multiprocessing.get_context("spawn")
+    return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
+
+def pool_map(fn: Callable[[_T], _R], items: Sequence[_T],
+             jobs: Optional[Union[int, str]] = None) -> List[_R]:
+    """Order-preserving map over a process pool (serial when jobs==1).
+
+    ``fn`` and every item must pickle under the spawn start method when
+    ``jobs > 1`` — module-level functions and plain data qualify,
+    closures do not.
+    """
+    workers = min(resolve_jobs(jobs), max(1, len(items)))
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with _make_pool(workers) as pool:
+        return list(pool.map(fn, items))
+
+
+# --------------------------------------------------------------------- #
+# Cell batches
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CellOutcome:
+    """One executed (or cache-served) cell."""
+
+    key: str
+    value: object
+    fingerprint: int
+    cached: bool
+
+
+class CellResults:
+    """Results of one :func:`run_cells` batch, keyed by canonical spec.
+
+    Lookup is by :class:`CellSpec` (or its canonical string); iteration
+    is in sorted-key order, so any aggregate derived from a plain
+    traversal is deterministic.
+    """
+
+    def __init__(self, outcomes: Dict[str, CellOutcome]) -> None:
+        self._outcomes = {k: outcomes[k] for k in sorted(outcomes)}
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __iter__(self):
+        return iter(self._outcomes.values())
+
+    def outcome(self, spec: Union[CellSpec, str]) -> CellOutcome:
+        key = spec.canonical() if isinstance(spec, CellSpec) else spec
+        return self._outcomes[key]
+
+    def value(self, spec: Union[CellSpec, str]) -> object:
+        return self.outcome(spec).value
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self._outcomes.values() if o.cached)
+
+    def fingerprints(self) -> Dict[str, int]:
+        """key -> 64-bit result fingerprint, in sorted-key order."""
+        return {k: o.fingerprint for k, o in self._outcomes.items()}
+
+    def combined_fingerprint(self) -> str:
+        """One hex digest over every cell fingerprint (sorted by key).
+
+        This is the figure-level determinism token: serial and N-way
+        runs of the same batch must print the same value.
+        """
+        import hashlib
+        digest = hashlib.sha256()
+        for key, outcome in self._outcomes.items():
+            digest.update(key.encode("utf-8"))
+            digest.update(outcome.fingerprint.to_bytes(8, "big"))
+        return digest.hexdigest()[:16]
+
+
+def run_cells(specs: Iterable[CellSpec],
+              jobs: Optional[Union[int, str]] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> CellResults:
+    """Execute a batch of cells: cache-first, then fan out, then merge.
+
+    Duplicate specs are coalesced (each distinct simulation runs once).
+    ``cache=None`` uses the fabric default installed by
+    :func:`set_default_cache`; pass an explicit :class:`ResultCache` to
+    override, and note there is no "definitely uncached" sentinel —
+    clear the default if a batch must not be cached.
+    """
+    if cache is None:
+        cache = _default_cache
+    unique: Dict[str, CellSpec] = {}
+    for spec in specs:
+        unique.setdefault(spec.canonical(), spec)
+
+    outcomes: Dict[str, CellOutcome] = {}
+    todo: List[Tuple[str, CellSpec]] = []
+    for key in sorted(unique):
+        spec = unique[key]
+        if cache is not None:
+            hit, value = cache.get(spec)
+            if hit:
+                outcomes[key] = CellOutcome(
+                    key=key, value=value,
+                    fingerprint=result_fingerprint(value), cached=True)
+                continue
+        todo.append((key, spec))
+
+    if todo:
+        workers = min(resolve_jobs(jobs), len(todo))
+        if progress is not None:
+            progress(f"running {len(todo)} cell(s) "
+                     f"({len(outcomes)} cached) with {workers} worker(s)")
+        if workers <= 1:
+            computed = [(key, execute_cell(spec)) for key, spec in todo]
+        else:
+            with _make_pool(workers) as pool:
+                values = pool.map(execute_cell,
+                                  [spec for _, spec in todo])
+                computed = list(zip((key for key, _ in todo), values))
+        # Sorted-key merge: the aggregation order downstream never
+        # depends on worker completion order.
+        for key, value in sorted(computed, key=lambda kv: kv[0]):
+            if cache is not None:
+                cache.put(unique[key], value)
+            outcomes[key] = CellOutcome(
+                key=key, value=value,
+                fingerprint=result_fingerprint(value), cached=False)
+    return CellResults(outcomes)

@@ -9,6 +9,8 @@ so the perf gate doubles as a same-seed determinism gate.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro import units
 from repro.config import SchedulerConfig
 from repro.experiments.setup import Testbed, weight_for_rate
@@ -58,6 +60,85 @@ def fig07_lu_testbed(quick: bool = False) -> BenchResult:
     result.events_per_s = events / total_wall
     result.peak_heap_entries = peak
     return result
+
+
+@bench("parallel_scaling")
+def parallel_scaling(quick: bool = False) -> BenchResult:
+    """The parallel experiment fabric under load: a fixed Fig-7-style
+    batch of single-VM LU cells run at increasing ``--jobs`` levels, plus
+    the content-addressed cache's cold/warm round-trip.
+
+    ``extra`` records ``speedup_j<N>`` (serial wall over N-way wall — on
+    a 1-core host these sit below 1.0 from spawn overhead, on an 8-core
+    host ``speedup_j8`` should exceed 3.0) and ``cache_cold_s`` /
+    ``cache_warm_s`` (a warm rerun must cost <10% of cold).  Speedups are
+    host-dependent, so this bench is deliberately *not* in the committed
+    events/sec baseline; the fingerprint, which every jobs level must
+    reproduce identically, is the portable part.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.runner import SingleVmResult
+    from repro.parallel import (ResultCache, WorkloadSpec, get_default_cache,
+                                run_cells, set_default_cache, single_vm_cell)
+
+    scale = 0.05 if quick else 0.15
+    wl = WorkloadSpec("nas", "LU", scale=scale)
+    cells = [single_vm_cell(wl, scheduler=sched, online_rate=rate, seed=seed)
+             for sched in ("credit", "asman")
+             for rate in (1.0, 0.4)
+             for seed in (1, 2)]
+    levels = (1, 2) if quick else (1, 2, 4, 8)
+
+    saved = get_default_cache()
+    set_default_cache(None)  # cold timings must never touch a real cache
+    tmp = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        walls: Dict[int, float] = {}
+        fingerprint_hex: Optional[str] = None
+        events = 0
+        for jobs in levels:
+            def drive(jobs: int = jobs) -> int:
+                results = run_cells(cells, jobs=jobs)
+                nonlocal fingerprint_hex
+                combined = results.combined_fingerprint()
+                assert fingerprint_hex in (None, combined), \
+                    "parallel run diverged from the serial reference"
+                fingerprint_hex = combined
+                total = 0
+                for outcome in results:
+                    value = outcome.value
+                    assert isinstance(value, SingleVmResult)
+                    total += value.events_executed
+                return total
+
+            walls[jobs], events = timed(drive)
+
+        cache = ResultCache(tmp)
+        cold, _ = timed(lambda: run_cells(cells, jobs=1, cache=cache)
+                        and events)
+        warm, _ = timed(lambda: run_cells(cells, jobs=1, cache=cache)
+                        and events)
+        assert cache.hits == len(cells), "warm rerun was not all-hit"
+
+        extra = {f"speedup_j{j}": walls[levels[0]] / walls[j]
+                 for j in levels[1:]}
+        extra["cache_cold_s"] = cold
+        extra["cache_warm_s"] = warm
+        assert fingerprint_hex is not None
+        return BenchResult(
+            name="parallel_scaling",
+            wall_s=walls[levels[0]],
+            events=events,
+            events_per_s=events / walls[levels[0]],
+            peak_heap_entries=0,
+            fingerprint=int(fingerprint_hex, 16),
+            extra=extra,
+        )
+    finally:
+        set_default_cache(saved)
+        shutil.rmtree(tmp, ignore_errors=True)
 
 
 @bench("fig11a_mix_testbed")

@@ -135,12 +135,32 @@ class TestCli:
         from repro.cli import main
         assert main(["figure", "fig99"]) == 2
 
-    def test_run_command(self, capsys):
+    def test_run_command(self, tmp_path, capsys):
         from repro.cli import main
         assert main(["run", "--workload", "EP", "--scale", "0.05",
-                     "--rate", "1.0"]) == 0
+                     "--rate", "1.0",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "runtime:" in out
+
+    def test_run_command_warm_cache_identical(self, tmp_path, capsys):
+        from repro.cli import main
+        argv = ["run", "--workload", "EP", "--scale", "0.05",
+                "--rate", "1.0", "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out      # stdout is byte-stable
+        assert "1 hit(s)" in warm.err    # ... and served from the cache
+
+    def test_run_command_no_cache(self, capsys):
+        from repro.cli import main
+        assert main(["run", "--workload", "EP", "--scale", "0.05",
+                     "--rate", "1.0", "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "runtime:" in captured.out
+        assert "cache" not in captured.err
 
     def test_figure_with_exports(self, tmp_path, capsys):
         from repro.cli import main
@@ -148,20 +168,23 @@ class TestCli:
         c = tmp_path / "fig.csv"
         assert main(["figure", "fig01a", "--scale", "0.1",
                      "--seeds", "1", "--json", str(j),
-                     "--csv", str(c)]) == 0
+                     "--csv", str(c),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         assert j.exists() and c.exists()
         figure_from_json(j.read_text())  # parses
 
-    def test_sweep_command(self, capsys):
+    def test_sweep_command(self, tmp_path, capsys):
         from repro.cli import main
         assert main(["sweep", "--workload", "EP", "--scale", "0.05",
-                     "--schedulers", "credit"]) == 0
+                     "--schedulers", "credit",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "slowdown sweep" in out
 
-    def test_specjbb_command(self, capsys):
+    def test_specjbb_command(self, tmp_path, capsys):
         from repro.cli import main
         assert main(["specjbb", "--max-warehouses", "2",
-                     "--window-ms", "100", "--schedulers", "credit"]) == 0
+                     "--window-ms", "100", "--schedulers", "credit",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
         out = capsys.readouterr().out
         assert "SPECjbb" in out

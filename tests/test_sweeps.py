@@ -31,6 +31,24 @@ class TestCell:
         c = Cell(params=(("x", 3), ("y", 4)), values=(0.0,))
         assert c.param("y") == 4
 
+    def test_stats_memoized_without_dict(self):
+        c = Cell(params=(), values=(1.0, 2.0, 3.0))
+        # __slots__ dataclass: no per-instance __dict__ grows behind it.
+        assert not hasattr(c, "__dict__")
+        assert c.mean is c.mean  # cached float object, not recomputed
+        assert c.std == pytest.approx(1.0)
+
+    def test_still_frozen(self):
+        c = Cell(params=(), values=(1.0,))
+        with pytest.raises(AttributeError):
+            c.values = (2.0,)
+
+    def test_memoized_cell_pickles(self):
+        import pickle
+        c = Cell(params=(("x", 1),), values=(1.0, 2.0))
+        clone = pickle.loads(pickle.dumps(c))
+        assert clone.mean == c.mean and clone.std == c.std
+
 
 class TestSweep:
     def test_grid_covers_cartesian_product(self):
@@ -75,6 +93,16 @@ class TestSweep:
     def test_max_cv(self):
         result = Sweep(_linear, {"x": [1]}, seeds=(1, 2, 3)).run()
         assert result.max_cv() > 0
+
+    def test_parallel_run_matches_serial(self):
+        # _linear is module-level, so it crosses the spawn boundary.
+        sweep = Sweep(_linear, {"x": [1, 2], "y": [0, 5]}, seeds=(1, 2))
+        serial = sweep.run(jobs=1)
+        parallel = sweep.run(jobs=2)
+        assert len(serial.cells) == len(parallel.cells)
+        for a, b in zip(serial.cells, parallel.cells):
+            assert a.params == b.params
+            assert a.values == b.values
 
 
 class TestSweepWithSimulator:
