@@ -126,6 +126,7 @@ class SchedulerSanitizer:
         except SchedulerInvariantError as exc:
             self._fail(str(exc))
         self._check_gang_atomicity()
+        self._check_launch_mutex()
         self._check_credit_monotonic()
 
     def note_assign(self) -> None:
@@ -211,6 +212,27 @@ class SchedulerSanitizer:
                         f"gang atomicity: {vm.name} is not coscheduled "
                         f"but {', '.join(stale)} still carry a "
                         f"coscheduling boost")
+
+    def _check_launch_mutex(self) -> None:
+        """The coscheduling launch mutex is held only while an IPI fan-out
+        is in flight (paper Section 4.1): one IPI latency window plus the
+        release event's own cycle.  A longer hold means the release path
+        was lost (exception, cancelled event) and gang launching would
+        silently stop for the rest of the run."""
+        sched = self.scheduler
+        held = getattr(sched, "_cosched_launching", False)
+        if not held:
+            return
+        since = getattr(sched, "_cosched_mutex_since", None)
+        now = sched.sim.now
+        window = sched.ipi.latency + 1
+        if since is None:
+            self._fail("launch mutex: held with no acquisition timestamp")
+        elif now - since > window:
+            self._fail(
+                f"launch mutex: held since cycle {since} "
+                f"({now - since} cycles > one IPI latency window of "
+                f"{window}) — the release event was lost")
 
     def _check_credit_monotonic(self) -> None:
         """Between assignments, total credit may only fall (debits)."""

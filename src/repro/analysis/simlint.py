@@ -99,7 +99,8 @@ RULES: Dict[str, str] = {
 }
 
 #: Sub-packages whose code executes inside the simulated world.
-SIM_PACKAGES: Tuple[str, ...] = ("sim", "vmm", "guest", "asman", "hardware")
+SIM_PACKAGES: Tuple[str, ...] = ("sim", "vmm", "guest", "asman", "hardware",
+                                 "faults")
 
 #: Host-side tooling sub-packages: code that orchestrates simulations
 #: from outside (process pools, on-disk caches, benchmark timing, this

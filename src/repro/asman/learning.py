@@ -118,9 +118,18 @@ class RothErevLearner:
         if slack <= cfg.under_cosched_delta:
             # Under-coscheduling: push probability mass to longer durations.
             self.under_cosched_updates += 1
+            reinforced = False
             for idx, x in enumerate(self.x):
                 if x > x_i:
                     update[idx] = 1.0 - e
+                    reinforced = True
+            if not reinforced:
+                # x_i is already the longest candidate: there is nothing
+                # longer to push mass to, yet the evidence says "coschedule
+                # at least this long".  Reinforce the top candidate itself;
+                # otherwise every propensity just decays by recency and the
+                # learner's distribution collapses to the floor.
+                update[int(np.argmax(np.asarray(self.x)))] = 1.0 - e
         else:
             self.proportional_updates += 1
             prev = self._prev_slack

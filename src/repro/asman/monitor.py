@@ -21,7 +21,7 @@ locality, not many) so the learner sees locality starts, not every wait.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.sim.engine import Event
 from repro.vmm.hypercall import HypercallTable
 from repro.vmm.vm import VCRD
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
+
 #: Default refractory window: over-threshold waits this close to the last
 #: adjusting event are part of the same locality onset.
 DEFAULT_REFRACTORY = units.us(50)
@@ -45,7 +48,8 @@ class MonitoringModule:
     def __init__(self, kernel: GuestKernel, hypercalls: HypercallTable,
                  config: Optional[MonitorConfig] = None,
                  rng: Optional[np.random.Generator] = None,
-                 refractory: int = DEFAULT_REFRACTORY) -> None:
+                 refractory: int = DEFAULT_REFRACTORY,
+                 faults: Optional["FaultInjector"] = None) -> None:
         self.kernel = kernel
         self.vm = kernel.vm
         self.sim = kernel.sim
@@ -55,10 +59,18 @@ class MonitoringModule:
         self.learner = RothErevLearner(
             self.config.learning,
             rng if rng is not None else np.random.default_rng(0))
+        #: Optional fault injector (repro.faults): misreporting modes.
+        #: None in the default path — a single attribute test per report.
+        self._faults = faults
         kernel.install_monitor(self)
 
         self._last_adjust: Optional[int] = None
         self._expiry_event: Optional[Event] = None
+        #: (lock identity, wait-start cycle) of episodes already counted in
+        #: ``over_threshold_count``.  One contention episode can be
+        #: reported several times — by the in-spin probe, again on each
+        #: online resume, and finally at acquisition — and must count once.
+        self._counted_episodes: Set[Tuple[int, int]] = set()
         #: Statistics.
         self.adjusting_events = 0
         self.over_threshold_count = 0
@@ -83,7 +95,13 @@ class MonitoringModule:
         self.measured_waits += 1
         if wait <= self.config.over_threshold_cycles:
             return
-        self.over_threshold_count += 1
+        # The episode may already be counted by the in-spin probe
+        # (on_wait_in_progress); completion closes it either way.
+        episode = (id(lock), self.sim.now - wait)
+        if episode not in self._counted_episodes:
+            self.over_threshold_count += 1
+        else:
+            self._counted_episodes.discard(episode)
         self._maybe_adjust()
 
     def on_wait_in_progress(self, lock: SpinLock, waited_so_far: int) -> None:
@@ -94,7 +112,12 @@ class MonitoringModule:
         coscheduling rescue the *current* episode."""
         if waited_so_far <= self.config.over_threshold_cycles:
             return
-        self.over_threshold_count += 1
+        # An in-progress episode is identified by (lock, wait start): the
+        # probe and every post-offline resume report the same episode.
+        episode = (id(lock), self.sim.now - waited_so_far)
+        if episode not in self._counted_episodes:
+            self._counted_episodes.add(episode)
+            self.over_threshold_count += 1
         self._maybe_adjust()
 
     def _maybe_adjust(self) -> None:
@@ -125,6 +148,17 @@ class MonitoringModule:
         self._set_vcrd(VCRD.LOW)
 
     def _set_vcrd(self, value: VCRD) -> None:
+        if self._faults is not None:
+            value = self._faults.monitor_report(value)
+            delay = self._faults.monitor_report_delay()
+            if delay:
+                self.sim.after(delay, lambda: self._emit_vcrd(value),
+                               label=f"fault-vcrd-delay:{self.vm.name}")
+                return
+        self._emit_vcrd(value)
+
+    def _emit_vcrd(self, value: VCRD) -> None:
+        """Report a VCRD value to the VMM (deduplicated at report time)."""
         if self.vm.vcrd is value:
             return
         self.hypercalls_made += 1

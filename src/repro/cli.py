@@ -7,11 +7,18 @@
 * ``run`` — a single-VM scenario with a chosen workload/scheduler/rate;
 * ``sweep`` — the online-rate sweep comparing schedulers (a quick Fig 7);
 * ``specjbb`` — the warehouse sweep (a quick Fig 10);
+* ``robustness`` — the fault-injection matrix (``repro.faults``): how
+  each scheduler degrades under hypercall loss, IPI drops, Monitoring
+  Module misreporting and degraded PCPUs;
 * ``perf`` — the simulation-core benchmark/regression harness
   (``repro.perf``): emits ``BENCH_<name>.json`` and optionally gates
   against a committed baseline (``--check``);
 * ``lint`` — the simlint static checker (``repro.analysis``): sim-specific
   determinism and cycle-unit rules, non-zero exit on violations.
+
+The sim subcommands (``run``/``sweep``/``specjbb``) also accept
+``--faults KEY=VALUE,...`` to inject a deterministic fault scenario into
+the simulated system (see ``docs/robustness.md`` for the vocabulary).
 
 Every simulation-running command accepts ``--sanitize``, which attaches
 the runtime scheduler sanitizer (``repro.analysis.sanitizer``) to all
@@ -86,6 +93,20 @@ def _workload_spec(name: str, scale: float):
         f"({', '.join(SPEC_CPU_PROFILES)})")
 
 
+def _parse_faults(text: Optional[str]):
+    """Map the ``--faults`` option to a FaultSpec (None when absent or
+    a no-op, so the pristine path stays injector-free)."""
+    if text is None:
+        return None
+    from repro.errors import ConfigurationError
+    from repro.faults import FaultSpec
+    try:
+        spec = FaultSpec.parse(text)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad --faults spec: {exc}")
+    return None if spec.is_noop() else spec
+
+
 # --------------------------------------------------------------------- #
 def cmd_list(args) -> int:
     """``repro list``: print figures, workloads, schedulers."""
@@ -136,9 +157,11 @@ def cmd_run(args) -> int:
                                                     args.scale))
     from repro.experiments.runner import SingleVmResult
     from repro.parallel import run_cells, single_vm_cell
+    faults = _parse_faults(args.faults)
     spec = single_vm_cell(_workload_spec(args.workload, args.scale),
                           scheduler=args.scheduler, online_rate=args.rate,
-                          seed=args.seed, collect_scatter=True)
+                          seed=args.seed, collect_scatter=True,
+                          faults=faults)
     r = run_cells([spec]).value(spec)
     assert isinstance(r, SingleVmResult)
     print(f"workload={args.workload} scheduler={args.scheduler} "
@@ -150,6 +173,9 @@ def cmd_run(args) -> int:
           f"max log2: {r.spin_summary['max_log2']:.1f}")
     if r.monitor_stats:
         print(f"monitoring module: {r.monitor_stats}")
+    if r.fault_stats is not None:
+        fired = {k: v for k, v in r.fault_stats.items() if v}
+        print(f"faults ({faults.describe()}): {fired or 'none fired'}")
     if args.plot and r.spin_scatter:
         print()
         print(ascii_plot.wait_histogram(
@@ -166,7 +192,8 @@ def _run_verbose(args, factory) -> int:
     from repro.metrics.timeline import TimelineCollector
 
     tb = Testbed(scheduler=args.scheduler, seed=args.seed,
-                 sched_config=SchedulerConfig(work_conserving=False))
+                 sched_config=SchedulerConfig(work_conserving=False),
+                 faults=_parse_faults(args.faults))
     timeline = TimelineCollector(tb.trace, tb.sim)
     tb.add_domain0()
     tb.add_vm("V1", weight=weight_for_rate(args.rate), workload=factory())
@@ -180,6 +207,8 @@ def _run_verbose(args, factory) -> int:
     print(f"co-online fraction (all 4 VCPUs simultaneously): "
           f"{timeline.co_online_fraction('V1', parties=4):.3f}\n")
     print(snapshot(tb.guests["V1"]).render())
+    if tb.faults is not None:
+        print(f"fault injections: {tb.faults.stats()}")
     if args.plot:
         window = min(tb.sim.now, units.ms(200))
         print()
@@ -198,14 +227,16 @@ def cmd_sweep(args) -> int:
     from repro.parallel import run_cells, single_vm_cell
 
     wl = _workload_spec(args.workload, args.scale)
+    faults = _parse_faults(args.faults)
     scheds: List[str] = args.schedulers.split(",")
     for s in scheds:
         if s not in SCHEDULERS:
             raise SystemExit(f"unknown scheduler {s!r}")
     base_spec = single_vm_cell(wl, scheduler=scheds[0], online_rate=1.0,
-                               seed=args.seed)
+                               seed=args.seed, faults=faults)
     grid = {(rate, sched): single_vm_cell(wl, scheduler=sched,
-                                          online_rate=rate, seed=args.seed)
+                                          online_rate=rate, seed=args.seed,
+                                          faults=faults)
             for rate in PAPER_RATES for sched in scheds}
     results = run_cells([base_spec, *grid.values()])
 
@@ -233,10 +264,12 @@ def cmd_specjbb(args) -> int:
     from repro.parallel import run_cells, specjbb_cell
 
     scheds = args.schedulers.split(",")
+    faults = _parse_faults(args.faults)
     warehouses = range(1, args.max_warehouses + 1)
     grid = {(w, sched): specjbb_cell(
                 w, scheduler=sched, online_rate=args.rate,
-                window_cycles=units.ms(args.window_ms), seed=args.seed)
+                window_cycles=units.ms(args.window_ms), seed=args.seed,
+                faults=faults)
             for w in warehouses for sched in scheds}
     results = run_cells(list(grid.values()))
     table = Table(["warehouses"] + scheds,
@@ -249,6 +282,40 @@ def cmd_specjbb(args) -> int:
             row.append(r.bops)
         table.add_row(*row)
     print(table)
+    return 0
+
+
+def cmd_robustness(args) -> int:
+    """``repro robustness``: the fault-injection degradation matrix."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.robustness import (FAULT_CLASSES, QUICK_CLASSES,
+                                              robustness_report)
+
+    if args.list_classes:
+        width = max(len(n) for n in FAULT_CLASSES)
+        for name, spec in FAULT_CLASSES.items():
+            print(f"{name:<{width}}  {spec.describe() or '(pristine)'}")
+        return 0
+    scheds = args.schedulers.split(",")
+    for s in scheds:
+        if s not in SCHEDULERS:
+            raise SystemExit(f"unknown scheduler {s!r}")
+    if args.classes:
+        classes: Optional[Sequence[str]] = args.classes.split(",")
+    elif args.quick:
+        classes = QUICK_CLASSES
+    else:
+        classes = None  # the full matrix
+    scale = args.scale if args.scale is not None \
+        else (0.3 if args.quick else 0.6)
+    try:
+        report = robustness_report(
+            workload=args.workload.upper(), scale=scale, rate=args.rate,
+            seeds=tuple(args.seeds), schedulers=scheds, classes=classes,
+            fairness=not args.no_fairness)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
     return 0
 
 
@@ -376,6 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default .repro-cache or "
              "$REPRO_CACHE_DIR)")
 
+    #: Fault injection, shared by the scenario subcommands.
+    faults_common = argparse.ArgumentParser(add_help=False)
+    faults_common.add_argument(
+        "--faults", metavar="KEY=VALUE,...", default=None,
+        help="inject a deterministic fault scenario, e.g. "
+             "'hypercall_loss=0.5,monitor_mode=stuck_low' "
+             "(see docs/robustness.md)")
+
     sub.add_parser("list", help="list figures/workloads/schedulers") \
         .set_defaults(func=cmd_list)
 
@@ -392,7 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
     fp.set_defaults(func=cmd_figure)
 
     rp = sub.add_parser("run", help="one single-VM scenario",
-                        parents=[sim_common, fabric_common])
+                        parents=[sim_common, fabric_common, faults_common])
     rp.add_argument("--workload", default="LU")
     rp.add_argument("--scheduler", default="credit", choices=SCHEDULERS)
     rp.add_argument("--rate", type=float, default=0.4,
@@ -405,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     rp.set_defaults(func=cmd_run)
 
     sp = sub.add_parser("sweep", help="online-rate sweep across schedulers",
-                        parents=[sim_common, fabric_common])
+                        parents=[sim_common, fabric_common, faults_common])
     sp.add_argument("--workload", default="LU")
     sp.add_argument("--schedulers", default="credit,asman")
     sp.add_argument("--scale", type=float, default=0.4)
@@ -413,13 +488,34 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(func=cmd_sweep)
 
     jp = sub.add_parser("specjbb", help="SPECjbb warehouse sweep",
-                        parents=[sim_common, fabric_common])
+                        parents=[sim_common, fabric_common, faults_common])
     jp.add_argument("--rate", type=float, default=0.4)
     jp.add_argument("--max-warehouses", type=int, default=8)
     jp.add_argument("--window-ms", type=float, default=1000.0)
     jp.add_argument("--schedulers", default="credit,asman")
     jp.add_argument("--seed", type=int, default=1)
     jp.set_defaults(func=cmd_specjbb)
+
+    bp = sub.add_parser("robustness",
+                        help="fault-injection degradation matrix",
+                        parents=[sim_common, fabric_common])
+    bp.add_argument("--workload", default="LU")
+    bp.add_argument("--schedulers", default="credit,con,asman")
+    bp.add_argument("--rate", type=float, default=2.0 / 9.0,
+                    help="VCPU online rate (default: the paper's 22.2%%)")
+    bp.add_argument("--scale", type=float, default=None,
+                    help="workload scale (default 0.6, or 0.3 with --quick)")
+    bp.add_argument("--seeds", type=int, nargs="*", default=(1,))
+    bp.add_argument("--classes", metavar="NAMES", default=None,
+                    help="comma-separated fault classes "
+                         "(see --list-classes; default: all)")
+    bp.add_argument("--quick", action="store_true",
+                    help="smoke subset of classes at a smaller scale")
+    bp.add_argument("--no-fairness", action="store_true",
+                    help="skip the two-VM fairness cells (faster)")
+    bp.add_argument("--list-classes", action="store_true",
+                    help="list fault classes and exit")
+    bp.set_defaults(func=cmd_robustness)
 
     pp = sub.add_parser("perf", help="performance regression harness",
                         parents=[sim_common, fabric_common])

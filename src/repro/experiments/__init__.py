@@ -14,6 +14,8 @@ from repro.experiments.runner import (
 )
 from repro.experiments.sweeps import Sweep, SweepResult
 from repro.experiments.calibration import CalibrationReport, calibrate
+from repro.experiments.robustness import (FAULT_CLASSES, RobustnessResult,
+                                          robustness_report)
 
 __all__ = [
     "Testbed", "weight_for_rate", "make_scheduler",
@@ -21,4 +23,5 @@ __all__ = [
     "run_single_vm", "run_multi_vm", "run_specjbb", "run_cells",
     "PAPER_RATES",
     "Sweep", "SweepResult", "CalibrationReport", "calibrate",
+    "FAULT_CLASSES", "RobustnessResult", "robustness_report",
 ]

@@ -33,7 +33,9 @@ from repro import units
 from repro.config import SchedulerConfig
 from repro.errors import ConfigurationError, SimulationError
 from repro.experiments.setup import Testbed, weight_for_rate
+from repro.faults import FaultSpec
 from repro.metrics.fairness import FairnessReport
+from repro.metrics.timeline import TimelineCollector
 from repro.workloads.base import Workload
 from repro.workloads.specjbb import SpecJbbWorkload
 
@@ -85,6 +87,11 @@ class SingleVmResult:
     finished: bool = True
     #: Simulator events executed — the perf fabric's throughput unit.
     events_executed: int = 0
+    #: Fraction of V1's any-online time with *all* VCPUs online; only
+    #: populated when the run was asked to ``collect_timeline``.
+    co_online_fraction: Optional[float] = None
+    #: Fault-injection counters (None when the run had no fault spec).
+    fault_stats: Optional[Dict[str, int]] = None
 
     def raise_if_unfinished(self) -> "SingleVmResult":
         if not self.finished:
@@ -104,7 +111,9 @@ def run_single_vm(workload_factory: WorkloadFactory,
                   deadline_cycles: int = DEFAULT_DEADLINE,
                   collect_scatter: bool = False,
                   sched_config: Optional[SchedulerConfig] = None,
-                  on_deadline: str = "raise") -> SingleVmResult:
+                  on_deadline: str = "raise",
+                  faults: Optional[FaultSpec] = None,
+                  collect_timeline: bool = False) -> SingleVmResult:
     """Section 5.2's scenario: V1 + idle Domain-0, NWC mode."""
     _check_on_deadline(on_deadline)
     weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
@@ -112,7 +121,9 @@ def run_single_vm(workload_factory: WorkloadFactory,
     cfg = sched_config if sched_config is not None \
         else SchedulerConfig(work_conserving=False)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
-                 sched_config=cfg)
+                 sched_config=cfg, faults=faults)
+    timeline = TimelineCollector(tb.trace, tb.sim) if collect_timeline \
+        else None
     tb.add_domain0()
     workload = workload_factory()
     vm = tb.add_vm("V1", num_vcpus=num_vcpus, weight=weight,
@@ -127,6 +138,10 @@ def run_single_vm(workload_factory: WorkloadFactory,
     stats = tb.spin_stats("V1")
     monitor = tb.monitors.get("V1")
     end_cycle = tb.guests["V1"].finished_at if finished else tb.sim.now
+    co_online: Optional[float] = None
+    if timeline is not None:
+        timeline.close()
+        co_online = timeline.co_online_fraction("V1", parties=num_vcpus)
     return SingleVmResult(
         scheduler=scheduler,
         online_rate=online_rate,
@@ -141,6 +156,8 @@ def run_single_vm(workload_factory: WorkloadFactory,
         vcrd_changes=vm.vcrd_changes,
         finished=finished,
         events_executed=tb.sim.events_executed,
+        co_online_fraction=co_online,
+        fault_stats=tb.faults.stats() if tb.faults is not None else None,
     )
 
 
@@ -162,6 +179,8 @@ class MultiVmResult:
     fairness_jains: float = 1.0
     finished: bool = True
     events_executed: int = 0
+    #: Fault-injection counters (None when the run had no fault spec).
+    fault_stats: Optional[Dict[str, int]] = None
 
     def raise_if_unfinished(self) -> "MultiVmResult":
         if not self.finished:
@@ -179,7 +198,8 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
                  measure_rounds: int = 2,
                  deadline_cycles: int = DEFAULT_DEADLINE,
                  sched_config: Optional[SchedulerConfig] = None,
-                 on_deadline: str = "raise") -> MultiVmResult:
+                 on_deadline: str = "raise",
+                 faults: Optional[FaultSpec] = None) -> MultiVmResult:
     """Section 5.3's scenario: several weight-256 VMs, WC mode.
 
     ``assignments`` is a list of (vm_name, workload_factory, concurrent)
@@ -194,7 +214,7 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
     cfg = sched_config if sched_config is not None \
         else SchedulerConfig(work_conserving=True)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
-                 sched_config=cfg)
+                 sched_config=cfg, faults=faults)
     tb.add_domain0()
     workloads: Dict[str, Workload] = {}
     for name, factory, concurrent in assignments:
@@ -220,7 +240,9 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
     result = MultiVmResult(scheduler=scheduler,
                            rounds_measured=measure_rounds,
                            finished=done,
-                           events_executed=tb.sim.events_executed)
+                           events_executed=tb.sim.events_executed,
+                           fault_stats=tb.faults.stats()
+                           if tb.faults is not None else None)
     for name, wl in workloads.items():
         result.labels[name] = wl.name
         if wl.rounds_completed() >= measure_rounds:
@@ -252,8 +274,8 @@ def run_specjbb(warehouses: int,
                 seed: int = 1,
                 num_pcpus: int = 8,
                 num_vcpus: int = 4,
-                sched_config: Optional[SchedulerConfig] = None
-                ) -> SpecJbbResult:
+                sched_config: Optional[SchedulerConfig] = None,
+                faults: Optional[FaultSpec] = None) -> SpecJbbResult:
     """Figure 10's scenario: V1 runs SPECjbb with W warehouses; bops are
     counted over a fixed window after a short warm-up."""
     weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
@@ -261,7 +283,7 @@ def run_specjbb(warehouses: int,
     cfg = sched_config if sched_config is not None \
         else SchedulerConfig(work_conserving=False)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
-                 sched_config=cfg)
+                 sched_config=cfg, faults=faults)
     tb.add_domain0()
     wl = SpecJbbWorkload(warehouses)
     tb.add_vm("V1", num_vcpus=num_vcpus, weight=weight, workload=wl,

@@ -19,6 +19,7 @@ from repro.asman.monitor import MonitoringModule
 from repro.config import (GuestConfig, MachineConfig, MonitorConfig,
                           SchedulerConfig, VMConfig)
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultSpec
 from repro.guest.kernel import GuestKernel
 from repro.hardware.machine import Machine
 from repro.metrics.runtime import RuntimeCollector
@@ -78,7 +79,8 @@ class Testbed:
                  seed: int = 1,
                  sched_config: Optional[SchedulerConfig] = None,
                  machine_config: Optional[MachineConfig] = None,
-                 sanitize: Optional[bool] = None) -> None:
+                 sanitize: Optional[bool] = None,
+                 faults: Optional[FaultSpec] = None) -> None:
         self.sim = Simulator()
         self.trace = TraceBus()
         self.rng = RngStreams(seed)
@@ -95,6 +97,16 @@ class Testbed:
             self.sanitizer = SchedulerSanitizer(self.scheduler)
             self.scheduler.sanitizer = self.sanitizer
         self.hypercalls = HypercallTable(self.sim, self.trace)
+        #: Fault-injection engine (repro.faults); None when ``faults`` is
+        #: None or a no-op spec, in which case nothing is hooked and the
+        #: simulation is bit-identical to a faults-free build.
+        self.faults: Optional[FaultInjector] = None
+        if faults is not None and not faults.is_noop():
+            self.faults = FaultInjector(faults, self.sim, self.trace,
+                                        self.rng)
+            self.faults.apply_machine(self.machine)
+            self.scheduler.ipi.faults = self.faults
+            self.hypercalls.faults = self.faults
         self.vms: Dict[str, VM] = {}
         self.guests: Dict[str, GuestKernel] = {}
         self.monitors: Dict[str, MonitoringModule] = {}
@@ -167,8 +179,12 @@ class Testbed:
                 monitored = self.scheduler_name == "asman"
             if monitored in (True, "guest"):
                 mon_rng = self.rng.get(f"monitor/{name}")
-                self.monitors[name] = MonitoringModule(
-                    kernel, self.hypercalls, cfg.monitor, mon_rng)
+                monitor = MonitoringModule(
+                    kernel, self.hypercalls, cfg.monitor, mon_rng,
+                    faults=self.faults)
+                self.monitors[name] = monitor
+                if self.faults is not None:
+                    self.faults.attach_monitor(monitor)
             elif monitored == "external":
                 self.external_monitors[name] = ExternalVcrdMonitor(
                     vm, self.sim, inference_config)

@@ -1,0 +1,25 @@
+"""repro.faults — deterministic, seeded fault injection.
+
+The paper's whole premise is behaviour under adversity (lock-holder
+preemption *is* the VMM failing the guest's timing assumptions), yet the
+happy path exercises none of the ways the adaptive loop's inputs can rot:
+hypercalls always arrive, IPIs never drop, the Monitoring Module never
+lies, every PCPU runs at full speed.  This package injects exactly those
+faults, deterministically:
+
+* :class:`FaultSpec` — a declarative, picklable, canonicalisable fault
+  scenario, composable with :class:`~repro.parallel.cells.CellSpec` (the
+  parallel fabric and the result cache key faulted runs correctly);
+* :class:`FaultInjector` — the seeded engine a testbed builds from a
+  spec and threads through the hypercall table, the IPI fabric, the
+  Monitoring Module and the machine.
+
+Faults off (``FaultSpec()`` or no spec at all) is guaranteed bit-identical
+to a build without this package: no injector is constructed and every
+hook is a single ``is None`` attribute test.  See ``docs/robustness.md``.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import MONITOR_MODES, FaultSpec
+
+__all__ = ["FaultInjector", "FaultSpec", "MONITOR_MODES"]

@@ -1,0 +1,196 @@
+"""The fault-injection engine.
+
+A :class:`FaultInjector` is built once per testbed from a non-no-op
+:class:`~repro.faults.spec.FaultSpec` and threaded through the layers it
+perturbs:
+
+* :meth:`hypercall` wraps every :meth:`repro.vmm.hypercall.HypercallTable.
+  call` dispatch (loss / duplication / delay);
+* :meth:`ipi_delivery` filters every :meth:`repro.hardware.ipi.IPIFabric.
+  send` (drop / latency jitter);
+* :meth:`monitor_report` / :meth:`monitor_report_delay` rewrite the
+  Monitoring Module's VCRD reports (stuck-HIGH, stuck-LOW, delayed
+  adjusting events), and :meth:`attach_monitor` arms the spurious-flip
+  schedule and the stuck-HIGH forcing event;
+* :meth:`apply_machine` marks degraded PCPUs (the scheduler charges
+  credit at ``1/speed`` on them — a capacity-loss model, not an
+  instruction-level slowdown).
+
+Determinism: every stochastic decision draws from a named
+:class:`~repro.sim.rng.RngStreams` stream (``faults/<seed>/<site>``), so
+the fault schedule is a pure function of (spec, testbed seed) and adding
+or removing fault classes never perturbs workload or learner draws.
+The injector is sim-side code and obeys the same simlint rules as the
+scheduler: no wall clock, integer cycles only, no unordered iteration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.spec import FaultSpec
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.tracing import TraceBus
+from repro.vmm.vm import VCRD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.asman.monitor import MonitoringModule
+    from repro.hardware.machine import Machine
+    from repro.vmm.hypercall import HypercallTable
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic, seeded fault schedule for one simulated system."""
+
+    def __init__(self, spec: FaultSpec, sim: Simulator, trace: TraceBus,
+                 streams: RngStreams) -> None:
+        self.spec = spec
+        self.sim = sim
+        self.trace = trace
+        self._streams = streams
+        self._rng_cache: Dict[str, np.random.Generator] = {}
+        #: Observability counters, reported by the robustness experiment.
+        self.hypercalls_lost = 0
+        self.hypercalls_delayed = 0
+        self.hypercalls_duplicated = 0
+        self.ipis_dropped = 0
+        self.ipis_jittered = 0
+        self.vcrd_flips_injected = 0
+        self.reports_rewritten = 0
+        self.reports_delayed = 0
+
+    def _rng(self, site: str) -> np.random.Generator:
+        gen = self._rng_cache.get(site)
+        if gen is None:
+            gen = self._streams.get(f"faults/{self.spec.seed}/{site}")
+            self._rng_cache[site] = gen
+        return gen
+
+    # ------------------------------------------------------------------ #
+    # Hypercall faults (hooked from HypercallTable.call)
+    # ------------------------------------------------------------------ #
+    def hypercall(self, table: "HypercallTable", number: int,
+                  handler: Callable[..., int],
+                  args: Tuple[Any, ...]) -> int:
+        """Dispatch one hypercall through the fault model."""
+        s = self.spec
+        rng = self._rng("hypercall")
+        if s.hypercall_loss and rng.random() < s.hypercall_loss:
+            self.hypercalls_lost += 1
+            self.trace.emit(self.sim.now, "fault.hypercall",
+                            number=number, effect="lost")
+            return -1  # the guest's call site does not check the status
+        if s.hypercall_duplication and rng.random() < s.hypercall_duplication:
+            self.hypercalls_duplicated += 1
+            self.trace.emit(self.sim.now, "fault.hypercall",
+                            number=number, effect="duplicated")
+            handler(*args)
+            return handler(*args)
+        if s.hypercall_delay and rng.random() < s.hypercall_delay:
+            self.hypercalls_delayed += 1
+            delay = 1 + int(rng.integers(0, s.hypercall_delay_cycles))
+            self.trace.emit(self.sim.now, "fault.hypercall",
+                            number=number, effect="delayed", delay=delay)
+            self.sim.after(delay, lambda: handler(*args),
+                           label=f"fault-hypercall-delay:{number}")
+            return 0  # the guest sees immediate success
+        return handler(*args)
+
+    # ------------------------------------------------------------------ #
+    # IPI faults (hooked from IPIFabric.send)
+    # ------------------------------------------------------------------ #
+    def ipi_delivery(self, source: int, target: int,
+                     latency: int) -> Optional[int]:
+        """Delivery latency for one IPI, or None if it is dropped."""
+        s = self.spec
+        rng = self._rng("ipi")
+        if s.ipi_drop and rng.random() < s.ipi_drop:
+            self.ipis_dropped += 1
+            self.trace.emit(self.sim.now, "fault.ipi",
+                            source=source, target=target, effect="dropped")
+            return None
+        if s.ipi_jitter_cycles:
+            extra = int(rng.integers(0, s.ipi_jitter_cycles + 1))
+            if extra:
+                self.ipis_jittered += 1
+                latency += extra
+        return latency
+
+    # ------------------------------------------------------------------ #
+    # Monitoring Module faults
+    # ------------------------------------------------------------------ #
+    def monitor_report(self, value: VCRD) -> VCRD:
+        """Possibly rewrite one VCRD report (stuck-HIGH / stuck-LOW)."""
+        mode = self.spec.monitor_mode
+        if mode == "stuck_high" and value is not VCRD.HIGH:
+            self.reports_rewritten += 1
+            return VCRD.HIGH
+        if mode == "stuck_low" and value is not VCRD.LOW:
+            self.reports_rewritten += 1
+            return VCRD.LOW
+        return value
+
+    def monitor_report_delay(self) -> int:
+        """Extra cycles every adjusting-event report is deferred by."""
+        delay = self.spec.monitor_delay_cycles
+        if delay:
+            self.reports_delayed += 1
+        return delay
+
+    def attach_monitor(self, monitor: "MonitoringModule") -> None:
+        """Arm the per-VM fault machinery (stuck-HIGH forcing, spurious
+        flips).  Called by the testbed when a Monitoring Module attaches."""
+        if self.spec.monitor_mode == "stuck_high":
+            # Force HIGH shortly after boot even if the guest never spins:
+            # a stuck sensor does not wait for real evidence.
+            self.sim.after(1, lambda: monitor._emit_vcrd(VCRD.HIGH),
+                           label=f"fault-vcrd-stuck-high:{monitor.vm.name}")
+        if self.spec.monitor_flip_period > 0:
+            self._arm_flip(monitor)
+
+    def _arm_flip(self, monitor: "MonitoringModule") -> None:
+        rng = self._rng(f"monitor-flip/{monitor.vm.name}")
+        gap = 1 + int(rng.exponential(self.spec.monitor_flip_period))
+        self.sim.after(gap, lambda: self._flip(monitor),
+                       label=f"fault-vcrd-flip:{monitor.vm.name}")
+
+    def _flip(self, monitor: "MonitoringModule") -> None:
+        vm = monitor.vm
+        value = VCRD.LOW if vm.vcrd is VCRD.HIGH else VCRD.HIGH
+        self.vcrd_flips_injected += 1
+        self.trace.emit(self.sim.now, "fault.vcrd_flip",
+                        vm=vm.name, vcrd=value.value)
+        # The flip goes through the real hypercall path (and therefore
+        # through the hypercall fault model too — faults compose).
+        monitor.hypercalls.do_vcrd_op(vm, value)
+        self._arm_flip(monitor)
+
+    # ------------------------------------------------------------------ #
+    # Degraded PCPUs
+    # ------------------------------------------------------------------ #
+    def apply_machine(self, machine: "Machine") -> None:
+        """Mark the spec's degraded PCPUs on the machine."""
+        for pid in self.spec.degraded_pcpus:
+            machine.degrade(pid, self.spec.degraded_speed)
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, int]:
+        """Injection counters for the robustness reports."""
+        return {
+            "hypercalls_lost": self.hypercalls_lost,
+            "hypercalls_delayed": self.hypercalls_delayed,
+            "hypercalls_duplicated": self.hypercalls_duplicated,
+            "ipis_dropped": self.ipis_dropped,
+            "ipis_jittered": self.ipis_jittered,
+            "vcrd_flips_injected": self.vcrd_flips_injected,
+            "reports_rewritten": self.reports_rewritten,
+            "reports_delayed": self.reports_delayed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FaultInjector {self.spec.describe()}>"

@@ -1,0 +1,175 @@
+"""Declarative fault specifications.
+
+A :class:`FaultSpec` describes *what* can go wrong in one simulated run —
+hypercall loss/delay/duplication, IPI drops and latency jitter, Monitoring
+Module misreporting, degraded PCPUs — as a plain frozen dataclass, for the
+same reasons :class:`~repro.parallel.cells.CellSpec` is one:
+
+* it **pickles**, so faulted cells cross the process-pool boundary;
+* it **canonicalises** (plain fields only), so the parallel fabric's merge
+  keys and the content-addressed cache key faulted and fault-free runs
+  differently;
+* it is **inert**: the spec carries no state.  All randomness lives in the
+  :class:`~repro.faults.injector.FaultInjector` built from it, which draws
+  from dedicated named :class:`~repro.sim.rng.RngStreams` — the fault
+  schedule is a pure function of (spec, testbed seed) and perturbs no
+  other stream.
+
+The default-constructed spec is a no-op: :meth:`is_noop` is True and the
+testbed then builds *no* injector at all, so every hook stays a single
+``is None`` attribute test and fault-free runs are bit-identical to a
+build without this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultSpec", "MONITOR_MODES"]
+
+#: Monitoring Module misreporting modes.
+#:
+#: ``ok``         — faithful reports (the default);
+#: ``stuck_high`` — every report is HIGH, and HIGH is forced shortly after
+#:                  attach: the VMM coschedules forever;
+#: ``stuck_low``  — every report is LOW: the VMM never learns about
+#:                  over-threshold spinlocks and ASMan degrades to plain
+#:                  credit scheduling.
+MONITOR_MODES: Tuple[str, ...] = ("ok", "stuck_high", "stuck_low")
+
+#: Fields holding probabilities in [0, 1].
+_PROBABILITY_FIELDS = ("hypercall_loss", "hypercall_delay",
+                      "hypercall_duplication", "ipi_drop")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault scenario.  All defaults are no-ops."""
+
+    #: Salt folded into the fault stream names, so two injectors in the
+    #: same testbed seed draw independent schedules.
+    seed: int = 0
+    #: Probability a hypercall is dropped (handler never runs; the guest
+    #: sees a failure status it does not check — exactly Xen's silent
+    #: -EFAULT path).
+    hypercall_loss: float = 0.0
+    #: Probability a hypercall's effect is deferred by a uniform draw in
+    #: [1, hypercall_delay_cycles]; the guest sees immediate success.
+    hypercall_delay: float = 0.0
+    hypercall_delay_cycles: int = 0
+    #: Probability a hypercall's handler is applied twice (retry storms).
+    hypercall_duplication: float = 0.0
+    #: Probability an IPI is silently dropped.
+    ipi_drop: float = 0.0
+    #: Extra per-IPI delivery latency, uniform in [0, ipi_jitter_cycles].
+    ipi_jitter_cycles: int = 0
+    #: Monitoring Module misreporting mode (see :data:`MONITOR_MODES`).
+    monitor_mode: str = "ok"
+    #: Mean cycles between spurious VCRD flips injected behind the
+    #: monitor's back (0 = off); gaps are exponential, floored at 1.
+    monitor_flip_period: int = 0
+    #: Delay applied to every VCRD adjusting-event report (0 = off).
+    monitor_delay_cycles: int = 0
+    #: PCPUs running slow, and their speed in (0, 1] (1.0 = healthy).
+    #: A degraded PCPU accomplishes ``degraded_speed`` work per cycle, so
+    #: running there burns credit 1/speed times faster.
+    degraded_pcpus: Tuple[int, ...] = ()
+    degraded_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in _PROBABILITY_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {value!r}")
+        if self.hypercall_delay > 0 and self.hypercall_delay_cycles < 1:
+            raise ConfigurationError(
+                "hypercall_delay needs hypercall_delay_cycles >= 1")
+        for name in ("hypercall_delay_cycles", "ipi_jitter_cycles",
+                     "monitor_flip_period", "monitor_delay_cycles"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.monitor_mode not in MONITOR_MODES:
+            raise ConfigurationError(
+                f"monitor_mode must be one of {MONITOR_MODES}, "
+                f"got {self.monitor_mode!r}")
+        if not 0.0 < self.degraded_speed <= 1.0:
+            raise ConfigurationError(
+                f"degraded_speed must be in (0, 1], got {self.degraded_speed!r}")
+        if self.degraded_pcpus and self.degraded_speed == 1.0:
+            raise ConfigurationError(
+                "degraded_pcpus without degraded_speed < 1.0 is a no-op; "
+                "set degraded_speed")
+        for pid in self.degraded_pcpus:
+            if pid < 0:
+                raise ConfigurationError(f"bad PCPU id {pid!r}")
+
+    # ------------------------------------------------------------------ #
+    def is_noop(self) -> bool:
+        """True iff this spec injects nothing (the testbed then builds no
+        injector and the run is bit-identical to a fault-free one)."""
+        return (self.hypercall_loss == 0.0
+                and self.hypercall_delay == 0.0
+                and self.hypercall_duplication == 0.0
+                and self.ipi_drop == 0.0
+                and self.ipi_jitter_cycles == 0
+                and self.monitor_mode == "ok"
+                and self.monitor_flip_period == 0
+                and self.monitor_delay_cycles == 0
+                and not self.degraded_pcpus)
+
+    def describe(self) -> str:
+        """Compact ``key=value`` rendering of the non-default fields."""
+        parts = []
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value != f.default and f.name != "seed":
+                if f.name == "degraded_pcpus":
+                    value = "+".join(str(p) for p in value)
+                parts.append(f"{f.name}={value}")
+        return ",".join(parts) if parts else "none"
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Build a spec from the CLI's ``key=value,key=value`` syntax.
+
+        Values are coerced by field type; ``degraded_pcpus`` takes a
+        ``+``-separated id list (``degraded_pcpus=0+3``).  An empty string
+        or ``none`` yields the no-op spec.
+        """
+        text = text.strip()
+        if not text or text == "none":
+            return cls()
+        by_name = {f.name: f for f in dataclasses.fields(cls)}
+        kwargs: Dict[str, Union[int, float, str, Tuple[int, ...]]] = {}
+        for item in text.split(","):
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"bad fault item {item!r}; expected key=value")
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            raw = raw.strip()
+            field = by_name.get(key)
+            if field is None:
+                raise ConfigurationError(
+                    f"unknown fault field {key!r}; choose from "
+                    f"{sorted(by_name)}")
+            try:
+                if key == "degraded_pcpus":
+                    kwargs[key] = tuple(
+                        int(p) for p in raw.split("+") if p != "")
+                elif key == "monitor_mode":
+                    kwargs[key] = raw
+                elif field.type in ("int", int):
+                    kwargs[key] = int(raw)
+                else:
+                    kwargs[key] = float(raw)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"bad value for fault field {key!r}: {raw!r}") from exc
+        return cls(**kwargs)  # type: ignore[arg-type]

@@ -9,11 +9,14 @@ returns immediately and the handler fires as a simulation event.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hardware.machine import Machine
 from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 IPIHandler = Callable[[int, int, Any], None]
 """Handler signature: (target_pcpu_id, source_pcpu_id, payload)."""
@@ -29,6 +32,9 @@ class IPIFabric:
         self._handlers: Dict[int, IPIHandler] = {}
         #: Total IPIs sent (observability; the ablation benches report it).
         self.sent = 0
+        #: Optional fault injector (repro.faults): drop / latency jitter.
+        #: None in the default path — a single attribute test per send.
+        self.faults: Optional["FaultInjector"] = None
 
     def register(self, pcpu_id: int, handler: IPIHandler) -> None:
         """Install the interrupt handler for a PCPU (one per PCPU)."""
@@ -46,8 +52,14 @@ class IPIFabric:
             raise ConfigurationError(
                 f"no IPI handler registered for PCPU {target}")
         self.sent += 1
+        latency = self.latency
+        if self.faults is not None:
+            delivery = self.faults.ipi_delivery(source, target, latency)
+            if delivery is None:
+                return  # dropped on the wire; the sender never knows
+            latency = delivery
         handler = self._handlers[target]
-        self.sim.after(self.latency,
+        self.sim.after(latency,
                        lambda: handler(target, source, payload),
                        label=f"ipi:{source}->{target}")
 

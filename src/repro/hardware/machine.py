@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.config import MachineConfig
-from repro.errors import SchedulerInvariantError
+from repro.errors import ConfigurationError, SchedulerInvariantError
 from repro.hardware.topology import Topology
 from repro.sim.engine import Simulator
 
@@ -32,7 +32,8 @@ class PCPU:
     """
 
     __slots__ = ("id", "socket", "_sim", "current", "busy_cycles",
-                 "idle_cycles", "_last_transition", "switches")
+                 "idle_cycles", "_last_transition", "switches",
+                 "speed_factor")
 
     def __init__(self, pcpu_id: int, socket: int, sim: Simulator) -> None:
         self.id = pcpu_id
@@ -43,6 +44,12 @@ class PCPU:
         self.idle_cycles = 0
         self._last_transition = sim.now
         self.switches = 0
+        #: Relative speed in (0, 1]; < 1.0 marks a degraded PCPU (set by
+        #: the fault fabric, repro.faults).  A slow PCPU accomplishes
+        #: ``speed_factor`` of the work per cycle, so the scheduler
+        #: charges credit at 1/speed_factor on it — a capacity-loss
+        #: model that keeps cycle accounting exact.
+        self.speed_factor: float = 1.0
 
     # ------------------------------------------------------------------ #
     def _account(self) -> None:
@@ -109,6 +116,13 @@ class Machine:
 
     def __iter__(self):
         return iter(self.pcpus)
+
+    def degrade(self, pcpu_id: int, speed_factor: float) -> None:
+        """Mark one PCPU as running at ``speed_factor`` of full speed."""
+        if not 0.0 < speed_factor <= 1.0:
+            raise ConfigurationError(
+                f"speed_factor must be in (0, 1], got {speed_factor!r}")
+        self.pcpus[pcpu_id].speed_factor = speed_factor
 
     def idle_pcpus(self) -> List[PCPU]:
         return [p for p in self.pcpus if p.is_idle]

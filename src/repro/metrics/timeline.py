@@ -56,11 +56,19 @@ class TimelineCollector:
             self._open[pcpu] = (vcpu, rec.time)
 
     def close(self) -> None:
-        """Flush still-open segments up to the current simulation time."""
+        """Flush still-open segments up to the current simulation time.
+
+        ``close`` is a *snapshot*, not a shutdown: the flushed occupations
+        are re-opened at the snapshot time, so if the simulation continues
+        the stretch from the snapshot to the next ``sched.switch`` is still
+        accounted (closing again later never double-counts — the re-opened
+        segment starts where the flushed one ended).
+        """
+        now = self.sim.now
         for pcpu, (name, start) in list(self._open.items()):
-            if self.sim.now > start:
-                self.segments.append(Segment(pcpu, name, start, self.sim.now))
-        self._open.clear()
+            if now > start:
+                self.segments.append(Segment(pcpu, name, start, now))
+                self._open[pcpu] = (name, now)
 
     # ------------------------------------------------------------------ #
     def pcpu_segments(self, pcpu: int) -> List[Segment]:

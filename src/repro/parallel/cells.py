@@ -30,6 +30,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.config import SchedulerConfig
 from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
 
 __all__ = [
     "CellSpec",
@@ -125,6 +126,13 @@ class CellSpec:
     #: "raise" (default) propagates SimulationError on deadline; "return"
     #: yields a structured unfinished result instead (pool-friendly).
     on_deadline: str = "raise"
+    #: Fault-injection scenario (:mod:`repro.faults`); None or a no-op
+    #: spec means the pristine system.  Part of the canonical form, so
+    #: faulted cells merge and cache separately from clean ones.
+    faults: Optional[FaultSpec] = None
+    #: single_vm: attach a timeline collector and report the co-online
+    #: fraction (the robustness experiment's headline metric).
+    collect_timeline: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS:
@@ -260,7 +268,8 @@ def execute_cell(spec: CellSpec):
             online_rate=spec.online_rate, seed=spec.seed,
             num_pcpus=spec.num_pcpus, num_vcpus=spec.num_vcpus,
             deadline_cycles=deadline, collect_scatter=spec.collect_scatter,
-            sched_config=spec.sched_config, on_deadline=spec.on_deadline)
+            sched_config=spec.sched_config, on_deadline=spec.on_deadline,
+            faults=spec.faults, collect_timeline=spec.collect_timeline)
     if spec.kind == "multi_vm":
         assignments = [(name, wl.build, concurrent)
                        for name, wl, concurrent in spec.assignments]
@@ -270,7 +279,8 @@ def execute_cell(spec: CellSpec):
             assignments, scheduler=spec.scheduler, seed=spec.seed,
             num_pcpus=spec.num_pcpus, num_vcpus=spec.num_vcpus,
             measure_rounds=spec.measure_rounds, deadline_cycles=deadline,
-            sched_config=spec.sched_config, on_deadline=spec.on_deadline)
+            sched_config=spec.sched_config, on_deadline=spec.on_deadline,
+            faults=spec.faults)
     window = (spec.window_cycles if spec.window_cycles is not None
               else runner.DEFAULT_SPECJBB_WINDOW)
     warmup = (spec.warmup_cycles if spec.warmup_cycles is not None
@@ -280,4 +290,4 @@ def execute_cell(spec: CellSpec):
         online_rate=spec.online_rate, window_cycles=window,
         warmup_cycles=warmup, seed=spec.seed,
         num_pcpus=spec.num_pcpus, num_vcpus=spec.num_vcpus,
-        sched_config=spec.sched_config)
+        sched_config=spec.sched_config, faults=spec.faults)

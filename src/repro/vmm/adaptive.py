@@ -46,6 +46,12 @@ class AdaptiveScheduler(SchedulerBase):
         #: Launch mutex (Section 4.1): held while an IPI fan-out is in
         #: flight so only one PCPU initiates coscheduling per event.
         self._cosched_launching = False
+        #: Cycle at which the launch mutex was last acquired (None while
+        #: free).  The sanitizer asserts the hold never outlives one IPI
+        #: latency window, and post_pick self-heals a stale hold (e.g. a
+        #: release event lost to a deadline stop) instead of silently
+        #: never gang-launching again.
+        self._cosched_mutex_since: Optional[int] = None
         #: vm id -> cycle of its last fan-out (slot-grained gang launches).
         self._last_launch: dict = {}
         #: Observability counters, reported by the ablation benches.
@@ -209,7 +215,14 @@ class AdaptiveScheduler(SchedulerBase):
         if vcpu.credit < 0:
             return  # Algorithm 4 only coschedules from the credit>=0 branch
         if self._cosched_launching:
-            return  # another PCPU holds the launch mutex
+            since = self._cosched_mutex_since
+            if since is not None and \
+                    self.sim.now - since <= self.ipi.latency + 1:
+                return  # another PCPU holds the launch mutex
+            # Stale hold: the release event never fired (it can be lost
+            # to a deadline stop).  Break the mutex rather than silently
+            # never gang-launching again.
+            self._release_mutex()
         last = self._last_launch.get(vm.id)
         if last is not None and \
                 self.sim.now - last < self.config.cosched_cooldown_cycles:
@@ -235,6 +248,7 @@ class AdaptiveScheduler(SchedulerBase):
         if not targets:
             return
         self._cosched_launching = True
+        self._cosched_mutex_since = self.sim.now
         self._last_launch[vm.id] = self.sim.now
         # Open the gang window: all members run in the top priority class
         # for one coscheduling slot, so the gang stays online *together*.
@@ -243,13 +257,21 @@ class AdaptiveScheduler(SchedulerBase):
         self.cosched_launches += 1
         self.trace.emit(self.sim.now, "sched.cosched",
                         vm=vm.name, initiator=pcpu.id, targets=targets)
-        self.ipi.broadcast(pcpu.id, sorted(set(targets)), payload=vm)
-        # Release the launch mutex once the IPIs have been delivered.
-        self.sim.after(self.ipi.latency + 1, self._release_mutex,
-                       label="cosched-mutex-release")
+        try:
+            self.ipi.broadcast(pcpu.id, sorted(set(targets)), payload=vm)
+            # Release the launch mutex once the IPIs have been delivered.
+            self.sim.after(self.ipi.latency + 1, self._release_mutex,
+                           label="cosched-mutex-release")
+        except BaseException:
+            # A failed fan-out must not leave the mutex held forever —
+            # that would silently disable gang launching for the rest of
+            # the run.  Release and re-raise.
+            self._release_mutex()
+            raise
 
     def _release_mutex(self) -> None:
         self._cosched_launching = False
+        self._cosched_mutex_since = None
 
     def _on_ipi(self, target: int, source: int, payload) -> None:
         # A coscheduling IPI: the boosted sibling now outranks whatever is

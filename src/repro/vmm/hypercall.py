@@ -9,12 +9,15 @@ and inject faults.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.tracing import TraceBus
 from repro.vmm.vm import VM, VCRD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 #: Hypercall numbers.  Xen's __HYPERVISOR_* table stops in the 40s; the
 #: paper's addition gets the next free slot by convention.
@@ -29,6 +32,10 @@ class HypercallTable:
         self.trace = trace
         self._table: Dict[int, Callable[..., int]] = {}
         self.invocations: Dict[int, int] = {}
+        #: Optional fault injector (repro.faults): hypercall loss, delay
+        #: and duplication.  None in the default path — the hook below is
+        #: a single attribute test and dispatch is unchanged.
+        self.faults: Optional["FaultInjector"] = None
         self.register(HYPERCALL_VCRD_OP, self._do_vcrd_op)
 
     def register(self, number: int, handler: Callable[..., int]) -> None:
@@ -41,6 +48,8 @@ class HypercallTable:
         if handler is None:
             raise ConfigurationError(f"unknown hypercall {number}")
         self.invocations[number] += 1
+        if self.faults is not None:
+            return self.faults.hypercall(self, number, handler, args)
         return handler(*args)
 
     # ------------------------------------------------------------------ #

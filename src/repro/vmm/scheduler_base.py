@@ -162,8 +162,14 @@ class SchedulerBase:
             return
         elapsed = self.sim.now - start
         if elapsed > 0:
-            vcpu.credit -= (elapsed * self.config.credit_per_tick
-                            / self.config.tick_cycles)
+            debit = (elapsed * self.config.credit_per_tick
+                     / self.config.tick_cycles)
+            pcpu = vcpu.pcpu
+            if pcpu is not None and pcpu.speed_factor != 1.0:
+                # Degraded PCPU: the same wall cycles buy less work, so
+                # the entitlement burns proportionally faster.
+                debit /= pcpu.speed_factor
+            vcpu.credit -= debit
 
     def _tick(self, pcpu_id: int) -> None:
         """Per-PCPU accounting tick: debit the running VCPU, re-schedule.
@@ -178,8 +184,11 @@ class SchedulerBase:
                 self._debit_start[id(running)] = self.sim.now
             else:
                 # Xen's sampled accounting: whoever holds the PCPU at the
-                # tick pays for the whole tick.
-                running.credit -= self.config.credit_per_tick
+                # tick pays for the whole tick (more, on a degraded PCPU).
+                debit = float(self.config.credit_per_tick)
+                if pcpu.speed_factor != 1.0:
+                    debit /= pcpu.speed_factor
+                running.credit -= debit
         self._tick_count[pcpu_id] += 1
         if pcpu_id == 0 and self._tick_count[0] % self.config.assign_slots == 0:
             self.assign_credits()

@@ -1,0 +1,217 @@
+"""Regression tests for the scheduler/monitor bug fixes.
+
+Each test pins one specific defect and fails on the pre-fix code:
+
+* the Monitoring Module double-counting a single contention episode that
+  is seen first by the in-progress probe and again at acquisition;
+* the Roth-Erev learner collapsing every propensity when the coscheduled
+  time still falls short of the *largest* candidate estimate (the
+  under-coscheduling dead end);
+* the adaptive scheduler leaking the coscheduling launch mutex when the
+  IPI fan-out raises, silently disabling gang launches for the rest of
+  the run;
+* ``TimelineCollector.close()`` discarding occupancy accumulated before
+  a mid-run snapshot;
+* the sanitizer missing a stale launch-mutex hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import SanitizerViolation, SchedulerSanitizer
+from repro.asman.learning import RothErevLearner
+from repro.asman.monitor import MonitoringModule
+from repro.config import LearningConfig
+from repro.guest.spinlock import SpinLock
+from repro.metrics.timeline import TimelineCollector
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.adaptive import AdaptiveScheduler
+from repro.vmm.vm import VCRD
+from tests.conftest import Harness
+
+
+# --------------------------------------------------------------------- #
+# Bugfix 1: over_threshold_count episode dedup
+# --------------------------------------------------------------------- #
+class TestMonitorEpisodeDedup:
+    def _wired(self):
+        h = Harness(num_pcpus=4, num_vcpus=2,
+                    scheduler_cls=AdaptiveScheduler)
+        mon = MonitoringModule(h.kernel, h.hypercalls,
+                               rng=np.random.default_rng(0))
+        return h, mon
+
+    def test_probe_then_acquisition_counts_once(self):
+        """One long episode is reported three times — by the in-spin
+        probe, by a later re-probe, and at acquisition — but is one
+        contention event.  Pre-fix code counted it at every report."""
+        h, mon = self._wired()
+        lock = SpinLock("l0")
+        w0 = mon.config.over_threshold_cycles + 12_345
+        h.sim.run_until(2_000_000)
+        mon.on_wait_in_progress(lock, w0)
+        assert mon.over_threshold_count == 1
+        h.sim.run_until(3_000_000)          # same episode, still spinning
+        mon.on_wait_in_progress(lock, w0 + 1_000_000)
+        assert mon.over_threshold_count == 1
+        h.sim.run_until(4_000_000)          # finally acquired
+        mon.on_spinlock_wait(lock, w0 + 2_000_000)
+        assert mon.over_threshold_count == 1
+
+    def test_distinct_episodes_still_count(self):
+        h, mon = self._wired()
+        l0, l1 = SpinLock("l0"), SpinLock("l1")
+        w = mon.config.over_threshold_cycles + 1
+        h.sim.run_until(2_000_000)
+        mon.on_wait_in_progress(l0, w)
+        mon.on_wait_in_progress(l1, w)      # different lock, same instant
+        assert mon.over_threshold_count == 2
+        h.sim.run_until(9_000_000)          # later episode on the same lock
+        mon.on_spinlock_wait(l0, w)
+        assert mon.over_threshold_count == 3
+
+    def test_below_threshold_never_counts(self):
+        h, mon = self._wired()
+        lock = SpinLock("l0")
+        h.sim.run_until(2_000_000)
+        mon.on_wait_in_progress(lock, mon.config.over_threshold_cycles)
+        mon.on_spinlock_wait(lock, mon.config.over_threshold_cycles)
+        assert mon.over_threshold_count == 0
+
+
+# --------------------------------------------------------------------- #
+# Bugfix 2: Roth-Erev under-coscheduling dead end
+# --------------------------------------------------------------------- #
+class TestLearnerUnderCoschedDeadEnd:
+    def test_largest_candidate_is_reinforced_not_abandoned(self):
+        """When coscheduled time keeps falling short of the *largest*
+        candidate there is no x > x_i to reinforce; pre-fix code then
+        reinforced nothing, so every propensity decayed to the floor and
+        the estimate collapsed to the smallest candidate."""
+        learner = RothErevLearner(LearningConfig(), np.random.default_rng(0))
+        top = max(learner.x)
+        top_idx = learner.x.index(top)
+        q0 = float(learner.q[top_idx])
+        learner.i = 2                 # past the forced-exploration phase
+        learner.last_estimate = top
+        estimates = [learner.next_estimate(top + 1) for _ in range(30)]
+        assert estimates[-1] == top
+        assert float(learner.q[top_idx]) > q0
+        assert int(np.argmax(learner.q)) == top_idx
+
+    def test_interior_candidate_unaffected(self):
+        """The ordinary under-coscheduling path (larger candidates exist)
+        behaves as before: everything above the current estimate is
+        reinforced."""
+        learner = RothErevLearner(LearningConfig(), np.random.default_rng(0))
+        mid = learner.x[len(learner.x) // 2]
+        learner.i = 2
+        learner.last_estimate = mid
+        learner.next_estimate(mid + 1)
+        above = [i for i, x in enumerate(learner.x) if x > mid]
+        at_or_below = [i for i, x in enumerate(learner.x) if x <= mid]
+        assert min(learner.q[above]) > max(learner.q[at_or_below])
+
+
+# --------------------------------------------------------------------- #
+# Bugfix 3: coscheduling launch-mutex leak
+# --------------------------------------------------------------------- #
+class TestLaunchMutexLeak:
+    def _wired(self):
+        h = Harness(num_pcpus=4, num_vcpus=2,
+                    scheduler_cls=AdaptiveScheduler)
+        h.vm.vcrd = VCRD.HIGH   # arm Algorithm 4 without hypercall churn
+        return h
+
+    def test_mutex_released_when_broadcast_raises(self):
+        h = self._wired()
+        sched = h.scheduler
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("IPI fabric down")
+
+        sched.ipi.broadcast = boom
+        v0 = h.vm.vcpus[0]
+        with pytest.raises(RuntimeError):
+            sched.post_pick(h.machine[v0.home_pcpu_id], v0)
+        assert sched._cosched_launching is False
+        assert sched._cosched_mutex_since is None
+
+    def test_inflight_hold_blocks_concurrent_launch(self):
+        h = self._wired()
+        sched = h.scheduler
+        sched._cosched_launching = True
+        sched._cosched_mutex_since = h.sim.now    # fan-out in flight
+        v0 = h.vm.vcpus[0]
+        sched.post_pick(h.machine[v0.home_pcpu_id], v0)
+        assert sched.cosched_launches == 0
+
+    def test_stale_hold_self_heals(self):
+        """A hold older than one IPI latency window means the release
+        event was lost; post_pick must break the mutex and launch rather
+        than never gang-launching again (the pre-fix behaviour)."""
+        h = self._wired()
+        sched = h.scheduler
+        sched._cosched_launching = True
+        sched._cosched_mutex_since = h.sim.now
+        h.sim.run_until(h.sim.now + sched.ipi.latency + 1_000)
+        v0 = h.vm.vcpus[0]
+        sched.post_pick(h.machine[v0.home_pcpu_id], v0)
+        assert sched.cosched_launches == 1
+        assert sched._cosched_mutex_since == h.sim.now
+
+
+# --------------------------------------------------------------------- #
+# Bugfix 4: TimelineCollector.close() on mid-run snapshots
+# --------------------------------------------------------------------- #
+class TestTimelineSnapshot:
+    def test_close_keeps_open_segments_alive(self):
+        sim = Simulator()
+        trace = TraceBus()
+        tc = TimelineCollector(trace, sim)
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="vm0/v0")
+        sim.run_until(50)
+        tc.close()                             # mid-run snapshot
+        assert sum(s.length for s in tc.segments) == 50
+        tc.close()                             # idempotent at one instant
+        assert sum(s.length for s in tc.segments) == 50
+        sim.run_until(100)
+        trace.emit(100, "sched.switch", pcpu=0, vcpu=None)
+        # Pre-fix close() dropped the still-open segment, losing the
+        # 50..100 occupancy entirely.
+        assert sum(s.length for s in tc.segments) == 100
+
+
+# --------------------------------------------------------------------- #
+# Sanitizer: launch-mutex hold window
+# --------------------------------------------------------------------- #
+class TestSanitizerLaunchMutex:
+    def _sanitized(self):
+        h = Harness(num_pcpus=2, num_vcpus=2,
+                    scheduler_cls=AdaptiveScheduler)
+        san = SchedulerSanitizer(h.scheduler)
+        h.scheduler.sanitizer = san
+        return h, san
+
+    def test_stale_hold_flagged(self):
+        h, _ = self._sanitized()
+        h.scheduler._cosched_launching = True
+        h.scheduler._cosched_mutex_since = 0
+        h.sim.run_until(h.scheduler.ipi.latency + 1_000)
+        with pytest.raises(SanitizerViolation):
+            h.scheduler.schedule(h.machine[0])
+
+    def test_hold_without_timestamp_flagged(self):
+        h, _ = self._sanitized()
+        h.scheduler._cosched_launching = True
+        h.scheduler._cosched_mutex_since = None
+        with pytest.raises(SanitizerViolation):
+            h.scheduler.schedule(h.machine[0])
+
+    def test_inflight_hold_passes(self):
+        h, san = self._sanitized()
+        h.scheduler._cosched_launching = True
+        h.scheduler._cosched_mutex_since = h.sim.now
+        h.scheduler.schedule(h.machine[0])
+        assert san.violations == []
