@@ -44,7 +44,7 @@ from repro.vmm import (VM, VCPU, VCRD, AdaptiveScheduler, CreditScheduler,
 from repro.workloads import (NasBenchmark, SpecCpuRateWorkload,
                              SpecJbbWorkload, SyntheticWorkload)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "units",

@@ -106,7 +106,8 @@ SIM_PACKAGES: Tuple[str, ...] = ("sim", "vmm", "guest", "asman", "hardware",
 #: from outside (process pools, on-disk caches, benchmark timing, this
 #: checker itself) and legitimately touches wall clocks and the OS.
 #: Sim-scoped rules never apply here, even under ``--assume-sim``.
-TOOLING_PACKAGES: Tuple[str, ...] = ("parallel", "perf", "analysis")
+TOOLING_PACKAGES: Tuple[str, ...] = ("parallel", "perf", "analysis",
+                                     "conformance")
 
 #: (subpackage, module) pairs holding per-event ("hot tier") classes.
 HOT_MODULES: Set[Tuple[str, str]] = {

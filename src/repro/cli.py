@@ -13,6 +13,10 @@
 * ``perf`` — the simulation-core benchmark/regression harness
   (``repro.perf``): emits ``BENCH_<name>.json`` and optionally gates
   against a committed baseline (``--check``);
+* ``conform`` — the differential conformance suite
+  (``repro.conformance``): a fuzzed scenario corpus cross-checked under
+  every scheduler by an invariant oracle, plus golden-trace comparison
+  (``--golden check|update``) and failure-artifact replay (``--replay``);
 * ``lint`` — the simlint static checker (``repro.analysis``): sim-specific
   determinism and cycle-unit rules, non-zero exit on violations.
 
@@ -319,6 +323,81 @@ def cmd_robustness(args) -> int:
     return 0
 
 
+def cmd_conform(args) -> int:
+    """``repro conform``: the differential conformance suite.
+
+    Default mode fuzzes ``--scenarios`` deterministic scenarios and runs
+    each under every scheduler in ``--schedulers``, judging the oracle's
+    cross-scheduler invariants and metamorphic relations.  Two exclusive
+    side modes skip the corpus: ``--golden check|update`` replays the
+    pinned golden-trace scenarios, and ``--replay ARTIFACT`` re-runs a
+    shrunk failure artifact.
+    """
+    from repro.conformance import conform
+    from repro.conformance.golden import check as golden_check
+    from repro.conformance.golden import update as golden_update
+    from repro.conformance.shrink import (replay_artifact, save_artifact,
+                                          shrink)
+    from repro.errors import ConfigurationError
+
+    if args.golden and args.replay:
+        raise SystemExit("--golden and --replay are exclusive modes")
+
+    if args.golden:
+        if args.golden == "update":
+            for path in golden_update(args.golden_dir):
+                print(f"wrote {path}")
+            return 0
+        drifts = golden_check(args.golden_dir)
+        for d in drifts:
+            print(d.render())
+        if drifts:
+            return 1
+        print("golden traces match")
+        return 0
+
+    if args.replay:
+        try:
+            outcome = replay_artifact(args.replay)
+        except ConfigurationError as exc:
+            raise SystemExit(str(exc))
+        print(outcome.render())
+        return 0 if outcome.reproduced else 1
+
+    schedulers = tuple(args.schedulers.split(","))
+    try:
+        report = conform(scenarios=args.scenarios, seed=args.seed,
+                         schedulers=schedulers,
+                         metamorphic_every=args.metamorphic_every)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc))
+    print(report.render())
+    if args.fingerprints:
+        import json as _json
+        import pathlib
+        doc = {"seed": report.seed, "count": report.count,
+               "schedulers": list(report.schedulers),
+               "combined": report.combined_fingerprint(),
+               "scenarios": report.fingerprints()}
+        pathlib.Path(args.fingerprints).write_text(
+            _json.dumps(doc, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote fingerprints to {args.fingerprints}")
+    if report.ok:
+        return 0
+    if args.shrink:
+        first = next(v for v in report.verdicts if not v.ok)
+        print(f"\nshrinking first failing scenario "
+              f"#{first.scenario.index} ...")
+        result = shrink(first.scenario, schedulers)
+        print(result.render())
+        if args.artifact:
+            path = save_artifact(result, args.artifact)
+            print(f"wrote replay artifact {path} "
+                  f"(python -m repro conform --replay {path})")
+    return 1
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: run simlint over the source tree (default) or the
     given paths; exit 1 if violations are found."""
@@ -534,6 +613,39 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--list", action="store_true",
                     help="list benchmark names and exit")
     pp.set_defaults(func=cmd_perf)
+
+    cp = sub.add_parser("conform",
+                        help="differential conformance suite "
+                             "(fuzzed scenarios, oracle, golden traces)",
+                        parents=[sim_common, fabric_common])
+    cp.add_argument("--scenarios", type=int, default=200,
+                    help="corpus size (default 200)")
+    cp.add_argument("--seed", type=int, default=1,
+                    help="corpus seed (default 1)")
+    cp.add_argument("--schedulers", default="credit,relaxed,asman",
+                    help="comma-separated schedulers to cross-check")
+    cp.add_argument("--metamorphic-every", type=int, default=10,
+                    metavar="N",
+                    help="run metamorphic twin cells for every Nth "
+                         "scenario (0 disables; default 10)")
+    cp.add_argument("--fingerprints", metavar="PATH",
+                    help="write per-scenario fingerprints as JSON "
+                         "(for cross-job-count determinism checks)")
+    cp.add_argument("--shrink", action="store_true",
+                    help="on failure, minimise the first failing "
+                         "scenario (serial; may take a while)")
+    cp.add_argument("--artifact", metavar="PATH",
+                    default="conformance_failure.json",
+                    help="where --shrink writes the replay artifact")
+    cp.add_argument("--replay", metavar="PATH",
+                    help="re-run a shrink artifact and verify its "
+                         "violation signature reproduces")
+    cp.add_argument("--golden", choices=("check", "update"),
+                    help="golden-trace mode: compare against (or "
+                         "regenerate) the checked-in trace fixtures")
+    cp.add_argument("--golden-dir", metavar="DIR", default=None,
+                    help="fixture directory (default tests/fixtures/golden)")
+    cp.set_defaults(func=cmd_conform)
 
     lp = sub.add_parser("lint", help="simlint static checker")
     lp.add_argument("paths", nargs="*",

@@ -1,0 +1,47 @@
+"""Conformance layer: scenario fuzzing, differential oracle, golden traces.
+
+The paper's central claim is *behavioral*: the adaptive scheduler must
+converge to coscheduling exactly for concurrent VMs and to proportional
+credit scheduling for non-concurrent ones, without violating fairness or
+liveness.  The figure experiments check that claim at a handful of
+hand-picked points; this package checks it across a fuzzed scenario
+space:
+
+* :mod:`repro.conformance.scenarios` — a deterministic scenario fuzzer
+  drawing ``CellSpec`` + ``FaultSpec`` scenarios from dedicated named
+  RNG streams (``conformance/scenario/<i>``), so generating scenario
+  *i* never perturbs scenario *j*, workload draws, or learner draws;
+* :mod:`repro.conformance.oracle` — a differential oracle running every
+  scenario under the credit / relaxed-co / adaptive schedulers on the
+  parallel fabric and checking cross-scheduler invariants plus
+  metamorphic relations;
+* :mod:`repro.conformance.golden` — golden-trace record/replay: compact
+  canonical event traces checked into ``tests/fixtures/golden/`` with
+  fingerprint comparison and drift diffing;
+* :mod:`repro.conformance.shrink` — an auto-shrinker minimising any
+  failing scenario to a reproducible ``--replay`` artifact;
+* :mod:`repro.conformance.mutants` — deliberately broken test-only
+  schedulers proving the oracle catches seeded invariant violations.
+
+Everything here is host-side tooling (``TOOLING_PACKAGES`` in
+:mod:`repro.analysis.simlint`); nothing runs inside the simulated world.
+
+CLI: ``python -m repro conform --scenarios N --jobs auto``.
+"""
+
+from repro.conformance.driver import ConformanceReport, conform
+from repro.conformance.oracle import ScenarioVerdict, Violation, judge
+from repro.conformance.scenarios import (SCHEDULERS_UNDER_TEST, Scenario,
+                                         generate, scenario_at)
+
+__all__ = [
+    "ConformanceReport",
+    "SCHEDULERS_UNDER_TEST",
+    "Scenario",
+    "ScenarioVerdict",
+    "Violation",
+    "conform",
+    "generate",
+    "judge",
+    "scenario_at",
+]

@@ -1,0 +1,225 @@
+"""Golden-trace record/replay: canonical event traces as fixtures.
+
+The oracle checks *invariants*; golden traces pin down *behaviour*.  For
+a few canonical scenarios the full scheduler-level event trace (credit
+assignments, VCRD transitions, coscheduling decisions, workload
+completion) is recorded once, canonicalised to JSON, and checked into
+``tests/fixtures/golden/``.  CI re-runs the scenarios and compares
+fingerprints: any drift — an intentional policy change or an accidental
+regression — shows up as a failing check with a structural diff (first
+diverging event plus per-category count deltas), and is acknowledged by
+regenerating the fixture (``python -m repro conform --golden update``).
+
+The three scenarios cover the paper's behavioural regimes:
+
+* ``concurrent_mix`` — two concurrent NAS guests under the adaptive
+  scheduler: the learner must raise VCRD and gang-schedule (the trace
+  contains ``vcrd.change`` and ``sched.cosched`` events);
+* ``noncurrent_mix`` — two SPEC CPU guests: the adaptive scheduler must
+  behave like plain credit (no coscheduling events);
+* ``faulted_degraded`` — a single concurrent guest on a machine with
+  one degraded PCPU: adaptation under asymmetric capacity, exercising
+  the fault layer's determinism end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+from repro.parallel.cells import (CellSpec, WorkloadSpec, execute_cell,
+                                  from_canonical)
+
+__all__ = [
+    "GOLDEN_CATEGORIES",
+    "GOLDEN_SCENARIOS",
+    "GoldenDrift",
+    "check",
+    "default_golden_dir",
+    "record",
+    "update",
+]
+
+#: Trace categories a golden trace captures: the scheduler-policy events
+#: (what the paper's figures are made of), not the raw dispatch stream —
+#: compact, stable, and meaningful to diff.
+GOLDEN_CATEGORIES: Tuple[str, ...] = (
+    "credit.assign", "vcrd.change", "sched.cosched", "workload.done",
+)
+
+#: One canonical event: (cycle, category, payload) as plain JSON values.
+_Event = Tuple[int, str, Dict[str, object]]
+
+#: The pinned scenarios.  Parameters are chosen so each regime's
+#: signature events actually fire (the adaptive learner needs enough
+#: contention and runtime to act) while staying fast enough for CI.
+GOLDEN_SCENARIOS: Dict[str, CellSpec] = {
+    "concurrent_mix": CellSpec(
+        kind="multi_vm", scheduler="asman", seed=11,
+        num_pcpus=4, num_vcpus=4,
+        assignments=(
+            ("LU", WorkloadSpec("nas", "LU", scale=0.05, rounds=3), True),
+            ("SP", WorkloadSpec("nas", "SP", scale=0.05, rounds=3), True),
+        ),
+        measure_rounds=2, deadline_cycles=units.seconds(120),
+        collect_trace=GOLDEN_CATEGORIES),
+    "noncurrent_mix": CellSpec(
+        kind="multi_vm", scheduler="asman", seed=13,
+        num_pcpus=4, num_vcpus=2,
+        assignments=(
+            ("GCC", WorkloadSpec("speccpu", "176.gcc", scale=0.1,
+                                 rounds=3), False),
+            ("BZIP", WorkloadSpec("speccpu", "256.bzip2", scale=0.1,
+                                  rounds=3), False),
+        ),
+        measure_rounds=2, deadline_cycles=units.seconds(120),
+        collect_trace=GOLDEN_CATEGORIES),
+    "faulted_degraded": CellSpec(
+        kind="single_vm", scheduler="asman", seed=19,
+        num_pcpus=8, num_vcpus=4, online_rate=2.0 / 9.0,
+        workload=WorkloadSpec("nas", "LU", scale=0.3),
+        faults=FaultSpec(seed=19, degraded_pcpus=(0,),
+                         degraded_speed=0.5),
+        deadline_cycles=units.seconds(120),
+        collect_trace=GOLDEN_CATEGORIES),
+}
+
+#: Fixture layout version (bump when the file format changes).
+GOLDEN_SCHEMA = 1
+
+
+def default_golden_dir() -> Path:
+    """``tests/fixtures/golden`` relative to the repository root."""
+    return Path(__file__).resolve().parents[3] / "tests" / "fixtures" / "golden"
+
+
+@dataclass
+class GoldenDrift:
+    """One golden trace that no longer matches its fixture."""
+
+    name: str
+    reason: str
+    details: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"golden trace '{self.name}': {self.reason}"]
+        lines.extend(f"  {d}" for d in self.details)
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+def _events_of(name: str, spec: CellSpec) -> List[_Event]:
+    res = execute_cell(spec)
+    events = getattr(res, "trace_events", None)
+    if events is None:
+        raise ConfigurationError(
+            f"golden scenario '{name}' produced no trace "
+            f"(collect_trace not set?)")
+    return [(int(c), str(cat), dict(payload)) for c, cat, payload in events]
+
+
+def _fingerprint(events: Sequence[_Event]) -> str:
+    blob = json.dumps([[c, cat, payload] for c, cat, payload in events],
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def record(name: str) -> Dict[str, object]:
+    """Run one golden scenario and build its fixture document."""
+    if name not in GOLDEN_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown golden scenario {name!r}; "
+            f"choices: {', '.join(sorted(GOLDEN_SCENARIOS))}")
+    spec = GOLDEN_SCENARIOS[name]
+    events = _events_of(name, spec)
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "kind": "conformance-golden",
+        "name": name,
+        "spec": spec.canonical(),
+        "categories": list(GOLDEN_CATEGORIES),
+        "fingerprint": _fingerprint(events),
+        "event_count": len(events),
+        "events": [[c, cat, payload] for c, cat, payload in events],
+    }
+
+
+def update(golden_dir: Optional[Union[str, Path]] = None,
+           names: Optional[Sequence[str]] = None) -> List[Path]:
+    """(Re)write golden fixtures; returns the paths written."""
+    out_dir = Path(golden_dir) if golden_dir else default_golden_dir()
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in names or sorted(GOLDEN_SCENARIOS):
+        doc = record(name)
+        path = out_dir / f"{name}.json"
+        path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def check(golden_dir: Optional[Union[str, Path]] = None,
+          names: Optional[Sequence[str]] = None) -> List[GoldenDrift]:
+    """Re-run every golden scenario and diff against its fixture."""
+    in_dir = Path(golden_dir) if golden_dir else default_golden_dir()
+    drifts: List[GoldenDrift] = []
+    for name in names or sorted(GOLDEN_SCENARIOS):
+        path = in_dir / f"{name}.json"
+        if not path.exists():
+            drifts.append(GoldenDrift(
+                name, f"fixture missing at {path} "
+                      f"(run --golden update to create it)"))
+            continue
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            drifts.append(GoldenDrift(name, f"unreadable fixture: {exc}"))
+            continue
+        if doc.get("schema") != GOLDEN_SCHEMA \
+                or doc.get("kind") != "conformance-golden":
+            drifts.append(GoldenDrift(
+                name, "fixture has an unknown layout "
+                      "(run --golden update to regenerate)"))
+            continue
+        # The fixture pins the *spec* too: replay exactly what was
+        # recorded, even if GOLDEN_SCENARIOS has since been retuned.
+        spec = from_canonical(doc["spec"])
+        fresh = _events_of(name, spec)
+        want = [(int(c), str(cat), dict(p)) for c, cat, p in doc["events"]]
+        if _fingerprint(fresh) == doc.get("fingerprint") and fresh == want:
+            continue
+        drifts.append(GoldenDrift(
+            name, "trace drifted from the recorded fixture",
+            details=_diff(want, fresh)))
+    return drifts
+
+
+def _diff(want: List[_Event], got: List[_Event]) -> List[str]:
+    out = [f"events: {len(want)} recorded vs {len(got)} fresh"]
+    for cat in GOLDEN_CATEGORIES:
+        a = sum(1 for e in want if e[1] == cat)
+        b = sum(1 for e in got if e[1] == cat)
+        if a != b:
+            out.append(f"{cat}: {a} recorded vs {b} fresh")
+    for i, (w, g) in enumerate(zip(want, got)):
+        if w != g:
+            out.append(f"first divergence at event {i}:")
+            out.append(f"  recorded: cycle={w[0]} {w[1]} {w[2]}")
+            out.append(f"  fresh:    cycle={g[0]} {g[1]} {g[2]}")
+            break
+    else:
+        if len(want) != len(got):
+            i = min(len(want), len(got))
+            longer = "recorded" if len(want) > len(got) else "fresh"
+            extra = (want if len(want) > len(got) else got)[i]
+            out.append(f"traces agree on the first {i} event(s); the "
+                       f"{longer} trace continues with cycle={extra[0]} "
+                       f"{extra[1]}")
+    return out

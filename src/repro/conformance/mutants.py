@@ -1,0 +1,81 @@
+"""Deliberately broken schedulers: the oracle's negative controls.
+
+A conformance suite that never fails proves nothing.  Each mutant here
+seeds one specific invariant violation into an otherwise-correct
+scheduler; the tests then assert the differential oracle *catches* it
+and the shrinker minimises the failing scenario to a tiny replayable
+artifact.
+
+Mutants are registered under ``mutant-*`` names via
+:func:`repro.experiments.setup.register_scheduler`.  Registration is
+process-local — parallel-fabric workers are spawned fresh and do not
+see it — so mutant cells must run with ``jobs=1`` (the shrinker and the
+regression tests do).
+
+These classes are test fixtures, not simulation features: nothing in
+the library imports this module; production scheduler names can never
+resolve to a mutant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Type
+
+from repro.config import SchedulerConfig
+from repro.hardware.machine import Machine
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.credit import CreditScheduler
+from repro.vmm.scheduler_base import SchedulerBase
+from repro.vmm.vm import VCPU, VM
+
+__all__ = ["MUTANT_ROLES", "MUTANT_SCHEDULERS", "install"]
+
+
+class LostVcpuScheduler(CreditScheduler):
+    """Credit scheduler that silently drops wake-ups for the last VCPU
+    of every multi-VCPU guest VM.
+
+    The lost VCPU runs until it first blocks and is then never enqueued
+    again — the "lost VCPU" liveness bug class.  It bites exactly the
+    workloads whose guests genuinely sleep and wake (semaphore pingpong,
+    NAS futex barriers); spin-wait synthetic programs never block their
+    VCPUs and sail through, which is precisely why a fuzzed corpus beats
+    a hand-picked smoke test here.  The oracle reports the stall as a
+    ``liveness`` violation on clean scenarios and as ``cross-agreement``
+    when run next to a healthy scheduler.
+    """
+
+    name = "mutant-lost-vcpu"
+
+    def __init__(self, machine: Machine, sim: Simulator, trace: TraceBus,
+                 config: Optional[SchedulerConfig] = None) -> None:
+        super().__init__(machine, sim, trace, config)
+        self._lost: Set[int] = set()
+
+    def add_vm(self, vm: VM) -> None:
+        super().add_vm(vm)
+        if vm.name != "Domain-0" and len(vm.vcpus) >= 2:
+            self._lost.add(id(vm.vcpus[-1]))
+
+    def on_vcpu_wake(self, vcpu: VCPU) -> None:
+        if id(vcpu) in self._lost:
+            return  # the seeded bug: the wake-up is dropped on the floor
+        super().on_vcpu_wake(vcpu)
+
+
+MUTANT_SCHEDULERS: Dict[str, Type[SchedulerBase]] = {
+    LostVcpuScheduler.name: LostVcpuScheduler,
+}
+
+#: The policy role each mutant is judged under (see ``oracle.judge``).
+MUTANT_ROLES: Dict[str, str] = {
+    LostVcpuScheduler.name: "credit",
+}
+
+
+def install() -> None:
+    """Register every mutant scheduler (idempotent, process-local)."""
+    from repro.experiments.setup import register_scheduler
+    for name, cls in MUTANT_SCHEDULERS.items():
+        register_scheduler(name, cls)

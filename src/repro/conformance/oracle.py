@@ -1,0 +1,264 @@
+"""Differential oracle: cross-scheduler invariants over one scenario.
+
+The oracle never looks at a reference implementation — correctness is
+defined *relationally*, across the three schedulers' runs of the same
+scenario and against scheduler-independent physics:
+
+**Per-run invariants** (every scheduler, every scenario)
+  progress (events executed, non-negative virtual time), bounded
+  fairness index, complete VM labelling, fault-stats presence iff a
+  fault spec was armed.
+
+**Fault-free invariants** (clean scenarios only — a fault class is
+  *allowed* to stall a run, never to corrupt one)
+  liveness (the workload finishes inside the generous deadline), no
+  lost VCPUs (the monitored VM measurably ran; every VM reports its
+  measured rounds), the credit cap (NWC single-VM measured online rate
+  may not exceed the configured rate beyond tolerance — credit
+  conservation end to end), a Jain fairness floor for equal-weight
+  multi-VM mixes, and co-online convergence: on synchronisation-heavy
+  scenarios the adaptive scheduler's co-online fraction must not fall
+  below plain credit's (gang scheduling can only help concurrency).
+
+**Differential agreement** (fault-free)
+  identical VM labelling and round accounting structure across
+  schedulers, and unanimous completion.
+
+Thresholds are deliberately explicit module constants: the corpus is
+deterministic, so they only need to hold at the drawn points — if a
+scheduler change trips one, that is a behavioural diff to investigate,
+not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional
+
+#: Signature of the violation-recording callback threaded through the
+#: check helpers: (check, scheduler-or-None, message).
+_Report = Callable[[str, Optional[str], str], None]
+
+from repro.conformance.scenarios import Scenario
+from repro.experiments.runner import MultiVmResult, SingleVmResult
+
+__all__ = [
+    "CAP_TOLERANCE",
+    "CO_TOLERANCE",
+    "JAIN_FLOOR",
+    "ScenarioVerdict",
+    "Violation",
+    "judge",
+]
+
+#: NWC single-VM runs: measured online rate may overshoot the configured
+#: rate by at most this (boost/rounding slack on short runs).
+CAP_TOLERANCE = 0.10
+
+#: The credit cap only binds once the startup transient (one banked
+#: accounting period of credit, see ``SchedulerBase.add_vm``) is
+#: amortised: runs shorter than this many accounting periods are exempt.
+CAP_MIN_PERIODS = 15
+
+#: Fault-free equal-weight multi-VM mixes under any scheduler must keep
+#: Jain's index above this floor (1.0 is perfect fairness).
+JAIN_FLOOR = 0.70
+
+#: Adaptive co-online fraction may trail plain credit's by at most this
+#: on concurrent fault-free single-VM scenarios.
+CO_TOLERANCE = 0.05
+
+#: A fault-free single VM must have measurably run (lost-VCPU guard).
+MIN_ONLINE_RATE = 0.01
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach found by the oracle."""
+
+    scenario: int
+    check: str
+    scheduler: Optional[str]
+    message: str
+
+    def render(self) -> str:
+        where = f"[{self.scheduler}]" if self.scheduler else "[*]"
+        return f"#{self.scenario} {where} {self.check}: {self.message}"
+
+
+@dataclass
+class ScenarioVerdict:
+    """The oracle's output for one scenario."""
+
+    scenario: Scenario
+    #: scheduler -> 64-bit result fingerprint (hex), the determinism unit
+    #: compared across job counts and cache states.
+    fingerprints: Dict[str, str] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def judge(scenario: Scenario,
+          results: Mapping[str, object],
+          roles: Optional[Mapping[str, str]] = None) -> List[Violation]:
+    """Check one scenario's per-scheduler results against the invariants.
+
+    ``results`` maps scheduler name -> runner result dataclass.
+    ``roles`` maps scheduler names to the *policy role* their checks run
+    under ("credit"/"relaxed"/"asman"); unmapped names are their own
+    role.  The mutant tests use this to run a broken scheduler under its
+    parent's contract.
+    """
+    out: List[Violation] = []
+    role = {s: (roles or {}).get(s, s) for s in results}
+
+    def bad(check: str, scheduler: Optional[str], message: str) -> None:
+        out.append(Violation(scenario.index, check, scheduler, message))
+
+    clean = scenario.fault_free
+    for sched, res in results.items():
+        if isinstance(res, SingleVmResult):
+            _check_single(scenario, sched, res, clean, bad)
+        elif isinstance(res, MultiVmResult):
+            _check_multi(scenario, sched, res, clean, bad)
+        else:
+            bad("result-type", sched,
+                f"unexpected result type {type(res).__name__}")
+
+    if clean:
+        _check_differential(scenario, results, role, bad)
+    return out
+
+
+# --------------------------------------------------------------------- #
+def _check_single(scenario: Scenario, sched: str, res: SingleVmResult,
+                  clean: bool, bad: _Report) -> None:
+    base = scenario.base
+    if res.events_executed <= 0:
+        bad("progress", sched, "no simulator events executed")
+    if res.runtime_cycles < 0:
+        bad("monotone-time", sched,
+            f"negative virtual time {res.runtime_cycles}")
+    if not 0.0 <= res.measured_online_rate <= 1.0 + 1e-9:
+        bad("online-rate-bounds", sched,
+            f"measured online rate {res.measured_online_rate:.4f} "
+            f"outside [0, 1]")
+    if res.co_online_fraction is not None \
+            and not 0.0 <= res.co_online_fraction <= 1.0 + 1e-9:
+        bad("co-online-bounds", sched,
+            f"co-online fraction {res.co_online_fraction:.4f} "
+            f"outside [0, 1]")
+    if clean != (res.fault_stats is None):
+        bad("fault-stats", sched,
+            "fault counters present on a clean run" if clean
+            else "fault counters missing on a faulted run")
+    if not clean:
+        return
+    # Liveness: the scenario deadline is generous; a clean run that
+    # fails to finish points at a stall (lost VCPU, broken wakeup, ...).
+    if not res.finished:
+        bad("liveness", sched,
+            f"clean run hit the deadline after "
+            f"{res.runtime_seconds:.1f} simulated seconds")
+        return
+    if res.measured_online_rate < MIN_ONLINE_RATE:
+        bad("lost-vcpu", sched,
+            f"measured online rate {res.measured_online_rate:.4f} — "
+            f"the VM barely ran")
+    # Credit conservation end to end: in NWC mode the long-run online
+    # rate is capped by the configured rate (Equations 1+2).  Only
+    # meaningful once the run spans enough accounting periods to
+    # amortise the banked startup credit.
+    cfg = base.resolved_sched_config()
+    period = cfg.tick_cycles * cfg.assign_slots
+    if not cfg.work_conserving \
+            and res.runtime_cycles >= CAP_MIN_PERIODS * period \
+            and res.measured_online_rate > base.online_rate + CAP_TOLERANCE:
+        bad("credit-cap", sched,
+            f"measured online rate {res.measured_online_rate:.4f} exceeds "
+            f"configured {base.online_rate:.4f} + {CAP_TOLERANCE} over "
+            f"{res.runtime_cycles // period} accounting periods")
+
+
+def _check_multi(scenario: Scenario, sched: str, res: MultiVmResult,
+                 clean: bool, bad: _Report) -> None:
+    base = scenario.base
+    names = [name for name, _, _ in base.assignments]
+    if res.events_executed <= 0:
+        bad("progress", sched, "no simulator events executed")
+    if not 0.0 < res.fairness_jains <= 1.0 + 1e-9:
+        bad("fairness-bounds", sched,
+            f"Jain's index {res.fairness_jains:.4f} outside (0, 1]")
+    if sorted(res.labels) != sorted(names):
+        bad("vm-accounting", sched,
+            f"labels cover {sorted(res.labels)}, expected {sorted(names)}")
+    for name, seconds in res.round_seconds.items():
+        if seconds <= 0:
+            bad("monotone-time", sched,
+                f"VM {name} reports non-positive round time {seconds}")
+    if not clean:
+        return
+    if not res.finished:
+        bad("liveness", sched,
+            f"clean mix missed {res.rounds_measured} rounds before "
+            f"the deadline")
+        return
+    missing = sorted(set(names) - set(res.round_seconds))
+    if missing:
+        bad("lost-vcpu", sched,
+            f"VMs {missing} never completed their measured rounds")
+    # The equal-weight fairness floor is only meaningful when every VM
+    # demands the same work (a heterogeneous neighbour legitimately
+    # idles once its lighter program completes its rounds).
+    demands = {(w.family, w.name, w.scale, w.rounds)
+               for _, w, _ in base.assignments}
+    if len(demands) == 1 and res.fairness_jains < JAIN_FLOOR:
+        bad("fairness-floor", sched,
+            f"Jain's index {res.fairness_jains:.4f} below equal-weight "
+            f"floor {JAIN_FLOOR} on a homogeneous mix")
+
+
+def _check_differential(scenario: Scenario,
+                        results: Mapping[str, object],
+                        role: Mapping[str, str], bad: _Report) -> None:
+    multi = {s: r for s, r in results.items()
+             if isinstance(r, MultiVmResult)}
+    single = {s: r for s, r in results.items()
+              if isinstance(r, SingleVmResult)}
+
+    # Unanimous completion: on a clean scenario all schedulers finish
+    # (each already checked individually); here we catch the *diff* —
+    # one scheduler stalling where its peers complete.
+    finished = {s: bool(getattr(r, "finished", False))
+                for s, r in results.items()}
+    if len(set(finished.values())) > 1:
+        stalled = sorted(s for s, f in finished.items() if not f)
+        bad("cross-agreement", None,
+            f"{stalled} stalled while the other scheduler(s) finished")
+
+    if multi:
+        labels = {s: tuple(sorted(r.labels.items()))
+                  for s, r in multi.items()}
+        if len(set(labels.values())) > 1:
+            bad("cross-agreement", None,
+                f"schedulers disagree on VM labelling: {labels}")
+
+    # Co-online convergence (the paper's Figure 7 claim, fuzzed): on a
+    # concurrent scenario the adaptive scheduler must reach at least the
+    # plain credit scheduler's co-online fraction.
+    if single and scenario.concurrent:
+        by_role: Dict[str, List[float]] = {}
+        for s, r in single.items():
+            if r.finished and r.co_online_fraction is not None:
+                by_role.setdefault(role[s], []).append(
+                    r.co_online_fraction)
+        credit = by_role.get("credit")
+        asman = by_role.get("asman")
+        if credit and asman and min(asman) < max(credit) - CO_TOLERANCE:
+            bad("co-online-convergence", None,
+                f"adaptive co-online {min(asman):.4f} fell more than "
+                f"{CO_TOLERANCE} below credit's {max(credit):.4f} on a "
+                f"concurrent scenario")

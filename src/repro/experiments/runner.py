@@ -57,11 +57,33 @@ DEFAULT_SPECJBB_WARMUP = units.ms(200)
 
 WorkloadFactory = Callable[[], Workload]
 
+#: One captured trace event: (time, category, payload).  Payloads are
+#: canonicalised to plain JSON-stable data so results stay picklable and
+#: fingerprint-stable across processes (the golden-trace contract).
+TraceEvent = Tuple[int, str, Dict[str, object]]
+
 
 def _check_on_deadline(on_deadline: str) -> None:
     if on_deadline not in ("raise", "return"):
         raise ConfigurationError(
             f"on_deadline must be 'raise' or 'return', got {on_deadline!r}")
+
+
+def _captured_trace(tb: Testbed,
+                    collect_trace: Sequence[str]) -> Optional[List[TraceEvent]]:
+    """Serialise retained trace records into canonical event tuples."""
+    if not collect_trace:
+        return None
+    from repro.parallel.cells import canonical_value
+    wanted = set(collect_trace)
+    events: List[TraceEvent] = []
+    for rec in tb.trace.records:
+        if rec.category not in wanted:
+            continue
+        payload = canonical_value(rec.payload)
+        assert isinstance(payload, dict)
+        events.append((rec.time, rec.category, payload))
+    return events
 
 
 @dataclass
@@ -92,6 +114,9 @@ class SingleVmResult:
     co_online_fraction: Optional[float] = None
     #: Fault-injection counters (None when the run had no fault spec).
     fault_stats: Optional[Dict[str, int]] = None
+    #: Captured trace events, only when the run was asked to
+    #: ``collect_trace`` specific categories (golden-trace recording).
+    trace_events: Optional[List[TraceEvent]] = None
 
     def raise_if_unfinished(self) -> "SingleVmResult":
         if not self.finished:
@@ -113,7 +138,8 @@ def run_single_vm(workload_factory: WorkloadFactory,
                   sched_config: Optional[SchedulerConfig] = None,
                   on_deadline: str = "raise",
                   faults: Optional[FaultSpec] = None,
-                  collect_timeline: bool = False) -> SingleVmResult:
+                  collect_timeline: bool = False,
+                  collect_trace: Sequence[str] = ()) -> SingleVmResult:
     """Section 5.2's scenario: V1 + idle Domain-0, NWC mode."""
     _check_on_deadline(on_deadline)
     weight = weight_for_rate(online_rate, num_pcpus=num_pcpus,
@@ -122,6 +148,8 @@ def run_single_vm(workload_factory: WorkloadFactory,
         else SchedulerConfig(work_conserving=False)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
                  sched_config=cfg, faults=faults)
+    if collect_trace:
+        tb.trace.retain(*collect_trace)
     timeline = TimelineCollector(tb.trace, tb.sim) if collect_timeline \
         else None
     tb.add_domain0()
@@ -158,6 +186,7 @@ def run_single_vm(workload_factory: WorkloadFactory,
         events_executed=tb.sim.events_executed,
         co_online_fraction=co_online,
         fault_stats=tb.faults.stats() if tb.faults is not None else None,
+        trace_events=_captured_trace(tb, collect_trace),
     )
 
 
@@ -181,6 +210,8 @@ class MultiVmResult:
     events_executed: int = 0
     #: Fault-injection counters (None when the run had no fault spec).
     fault_stats: Optional[Dict[str, int]] = None
+    #: Captured trace events (``collect_trace`` categories), else None.
+    trace_events: Optional[List[TraceEvent]] = None
 
     def raise_if_unfinished(self) -> "MultiVmResult":
         if not self.finished:
@@ -199,7 +230,8 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
                  deadline_cycles: int = DEFAULT_DEADLINE,
                  sched_config: Optional[SchedulerConfig] = None,
                  on_deadline: str = "raise",
-                 faults: Optional[FaultSpec] = None) -> MultiVmResult:
+                 faults: Optional[FaultSpec] = None,
+                 collect_trace: Sequence[str] = ()) -> MultiVmResult:
     """Section 5.3's scenario: several weight-256 VMs, WC mode.
 
     ``assignments`` is a list of (vm_name, workload_factory, concurrent)
@@ -215,6 +247,8 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
         else SchedulerConfig(work_conserving=True)
     tb = Testbed(scheduler=scheduler, num_pcpus=num_pcpus, seed=seed,
                  sched_config=cfg, faults=faults)
+    if collect_trace:
+        tb.trace.retain(*collect_trace)
     tb.add_domain0()
     workloads: Dict[str, Workload] = {}
     for name, factory, concurrent in assignments:
@@ -242,7 +276,8 @@ def run_multi_vm(assignments: Sequence[Tuple[str, WorkloadFactory, bool]],
                            finished=done,
                            events_executed=tb.sim.events_executed,
                            fault_stats=tb.faults.stats()
-                           if tb.faults is not None else None)
+                           if tb.faults is not None else None,
+                           trace_events=_captured_trace(tb, collect_trace))
     for name, wl in workloads.items():
         result.labels[name] = wl.name
         if wl.rounds_completed() >= measure_rounds:

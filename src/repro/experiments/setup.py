@@ -53,6 +53,26 @@ def make_scheduler(name: str) -> Type[SchedulerBase]:
     return cls
 
 
+def register_scheduler(name: str, cls: Type[SchedulerBase]) -> None:
+    """Register an extra scheduler class under ``name``.
+
+    Extension hook used by :mod:`repro.conformance`'s deliberately broken
+    test-only mutants.  Registering the same class twice is a no-op;
+    rebinding an existing name to a *different* class raises, so the
+    built-in schedulers cannot be silently replaced.  Registrations are
+    process-local: parallel-fabric workers (spawned fresh) do not see
+    them, so cells naming a registered scheduler must run with
+    ``jobs=1``.
+    """
+    key = name.lower()
+    existing = _SCHEDULERS.get(key)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"scheduler {name!r} is already registered as "
+            f"{existing.__name__}")
+    _SCHEDULERS[key] = cls
+
+
 def weight_for_rate(rate: float, num_pcpus: int = 8, num_vcpus: int = 4,
                     dom0_weight: int = 256) -> int:
     """Invert Equations (1)+(2): the guest weight giving the requested

@@ -159,6 +159,10 @@ class FaultSpec:
                 raise ConfigurationError(
                     f"unknown fault field {key!r}; choose from "
                     f"{sorted(by_name)}")
+            if key in kwargs:
+                raise ConfigurationError(
+                    f"duplicate fault field {key!r}; each key may appear "
+                    f"at most once")
             try:
                 if key == "degraded_pcpus":
                     kwargs[key] = tuple(

@@ -40,7 +40,7 @@ __all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "default_salt"]
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 #: Bump to invalidate every cached result on a format change.
-CACHE_SCHEMA = 2
+CACHE_SCHEMA = 3
 
 _CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 

@@ -37,6 +37,7 @@ __all__ = [
     "WorkloadSpec",
     "canonical_value",
     "execute_cell",
+    "from_canonical",
     "multi_vm_cell",
     "result_fingerprint",
     "single_vm_cell",
@@ -133,6 +134,10 @@ class CellSpec:
     #: single_vm: attach a timeline collector and report the co-online
     #: fraction (the robustness experiment's headline metric).
     collect_timeline: bool = False
+    #: Trace categories to retain and return as canonical event tuples
+    #: (``result.trace_events``) — the golden-trace record/replay feed
+    #: of :mod:`repro.conformance`.  Empty means no trace capture.
+    collect_trace: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in CELL_KINDS:
@@ -147,6 +152,13 @@ class CellSpec:
         if self.on_deadline not in ("raise", "return"):
             raise ConfigurationError(
                 "on_deadline must be 'raise' or 'return'")
+        if self.collect_trace:
+            if self.kind == "specjbb":
+                raise ConfigurationError(
+                    "specjbb cells do not support collect_trace")
+            if not all(isinstance(c, str) and c for c in self.collect_trace):
+                raise ConfigurationError(
+                    "collect_trace must be non-empty category names")
 
     # -- canonical form ------------------------------------------------- #
     def canonical(self) -> str:
@@ -205,6 +217,65 @@ def canonical_value(obj: object) -> object:
         return obj
     raise ConfigurationError(
         f"cannot canonicalise {type(obj).__name__!r} value {obj!r}")
+
+
+def from_canonical(text: str) -> "CellSpec":
+    """Rebuild a :class:`CellSpec` from its :meth:`CellSpec.canonical` JSON.
+
+    The inverse used by conformance ``--replay`` artifacts: a failing
+    scenario is persisted as its canonical string and reconstructed here
+    to re-run the exact simulation.  Because ``canonical()`` embeds the
+    *resolved* SchedulerConfig, a spec whose ``sched_config`` was None
+    round-trips to one carrying the resolved config explicitly — a
+    canonically (and behaviourally) identical cell.
+
+    Strict by design: unknown fields raise :class:`ConfigurationError`
+    rather than being dropped, so artifacts recorded under a different
+    code version fail loudly instead of replaying something else.
+    """
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"invalid canonical spec JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("__kind__") != "CellSpec":
+        raise ConfigurationError("document is not a canonical CellSpec")
+    kw = {k: v for k, v in doc.items() if k != "__kind__"}
+    if kw.get("workload") is not None:
+        kw["workload"] = _rebuild_dataclass(kw["workload"], WorkloadSpec)
+    kw["assignments"] = tuple(
+        (name, _rebuild_dataclass(wdoc, WorkloadSpec), bool(conc))
+        for name, wdoc, conc in (kw.get("assignments") or ()))
+    if kw.get("faults") is not None:
+        kw["faults"] = _rebuild_dataclass(kw["faults"], FaultSpec,
+                                          tuple_fields=("degraded_pcpus",))
+    if kw.get("sched_config") is not None:
+        kw["sched_config"] = _rebuild_dataclass(kw["sched_config"],
+                                                SchedulerConfig)
+    kw["collect_trace"] = tuple(kw.get("collect_trace") or ())
+    names = {f.name for f in dataclasses.fields(CellSpec)}
+    unknown = sorted(set(kw) - names)
+    if unknown:
+        raise ConfigurationError(
+            f"canonical CellSpec has unknown fields: {unknown}")
+    return CellSpec(**kw)
+
+
+def _rebuild_dataclass(doc: object, cls: type,
+                       tuple_fields: Tuple[str, ...] = ()) -> object:
+    """Reconstruct one frozen dataclass from its canonical dict form."""
+    want = cls.__name__
+    if not isinstance(doc, dict) or doc.get("__kind__") != want:
+        raise ConfigurationError(f"expected a canonical {want} document")
+    kw = {k: v for k, v in doc.items() if k != "__kind__"}
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(kw) - names)
+    if unknown:
+        raise ConfigurationError(
+            f"canonical {want} has unknown fields: {unknown}")
+    for f in tuple_fields:
+        kw[f] = tuple(kw.get(f) or ())
+    return cls(**kw)
 
 
 def result_fingerprint(value: object) -> int:
@@ -269,7 +340,8 @@ def execute_cell(spec: CellSpec):
             num_pcpus=spec.num_pcpus, num_vcpus=spec.num_vcpus,
             deadline_cycles=deadline, collect_scatter=spec.collect_scatter,
             sched_config=spec.sched_config, on_deadline=spec.on_deadline,
-            faults=spec.faults, collect_timeline=spec.collect_timeline)
+            faults=spec.faults, collect_timeline=spec.collect_timeline,
+            collect_trace=spec.collect_trace)
     if spec.kind == "multi_vm":
         assignments = [(name, wl.build, concurrent)
                        for name, wl, concurrent in spec.assignments]
@@ -280,7 +352,7 @@ def execute_cell(spec: CellSpec):
             num_pcpus=spec.num_pcpus, num_vcpus=spec.num_vcpus,
             measure_rounds=spec.measure_rounds, deadline_cycles=deadline,
             sched_config=spec.sched_config, on_deadline=spec.on_deadline,
-            faults=spec.faults)
+            faults=spec.faults, collect_trace=spec.collect_trace)
     window = (spec.window_cycles if spec.window_cycles is not None
               else runner.DEFAULT_SPECJBB_WINDOW)
     warmup = (spec.warmup_cycles if spec.warmup_cycles is not None

@@ -10,10 +10,11 @@ repeats a [compute, sync] pattern.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro import units
 from repro.errors import WorkloadError
 from repro.guest.kernel import GuestKernel
 from repro.guest.ops import BarrierOp, Compute, Critical, Op, SemDown, SemUp
@@ -43,13 +44,41 @@ class PhaseSpec:
             raise WorkloadError(f"unknown sync kind {self.sync!r}")
 
 
+#: Named profiles for ``SyntheticWorkload.by_name`` — the declarative
+#: workload table used by ``WorkloadSpec(family="synthetic", ...)`` cells
+#: and the conformance fuzzer.  Values are (threads, locks, phases).
+#: Deliberately small instances: thread counts of 1/2/4 cover the
+#: degenerate machine shapes NAS (fixed 4 threads) cannot reach.
+SYNTH_PROFILES: Dict[str, Tuple[int, int, Tuple[PhaseSpec, ...]]] = {
+    # Tightly barrier-synchronised, concurrent by construction.
+    "barrier2": (2, 2, (PhaseSpec(compute=units.ms(0.5), repeats=30,
+                                  sync="barrier", jitter_cv=0.10),)),
+    "barrier4": (4, 2, (PhaseSpec(compute=units.ms(0.5), repeats=30,
+                                  sync="barrier", jitter_cv=0.10),)),
+    # Lock-intensive: short holds against a shared pool.
+    "critical2": (2, 2, (PhaseSpec(compute=units.ms(0.4), repeats=40,
+                                   sync="critical", critical_hold=16_000,
+                                   jitter_cv=0.10),)),
+    # Blocking semaphore ping-pong (the primitive virtualization should
+    # not hurt — Section 5.2).
+    "pingpong2": (2, 2, (PhaseSpec(compute=units.ms(0.3), repeats=40,
+                                   sync="sem_pingpong"),)),
+    # Pure compute, no synchronisation: non-concurrent reference points.
+    "compute1": (1, 1, (PhaseSpec(compute=units.ms(1.0), repeats=25,
+                                  jitter_cv=0.05),)),
+    "compute2": (2, 1, (PhaseSpec(compute=units.ms(1.0), repeats=20,
+                                  jitter_cv=0.05),)),
+}
+
+
 class SyntheticWorkload(Workload):
     """Threads all running the same phase list."""
 
     def __init__(self, name: str, threads: int,
                  phases: List[PhaseSpec],
-                 locks: int = 2) -> None:
-        super().__init__()
+                 locks: int = 2,
+                 rounds: int = 1) -> None:
+        super().__init__(rounds=rounds)
         if threads < 1:
             raise WorkloadError("need >= 1 thread")
         if not phases:
@@ -60,6 +89,32 @@ class SyntheticWorkload(Workload):
         self.threads = threads
         self.phases = list(phases)
         self.nlocks = locks
+        self._expected_threads = threads
+
+    @classmethod
+    def by_name(cls, name: str, scale: float = 1.0,
+                rounds: int = 1) -> "SyntheticWorkload":
+        """Build one of the named profiles (see :data:`SYNTH_PROFILES`).
+
+        ``scale`` multiplies every phase's compute segment, leaving the
+        synchronisation structure (repeats, barriers, locks) intact —
+        the same contract as the NAS/SPEC ``by_name`` constructors.
+        """
+        prof = SYNTH_PROFILES.get(name)
+        if prof is None:
+            raise WorkloadError(
+                f"unknown synthetic profile {name!r}; "
+                f"choose from {sorted(SYNTH_PROFILES)}")
+        threads, locks, phases = prof
+        if scale != 1.0:
+            if scale <= 0:
+                raise WorkloadError("scale must be positive")
+            phases = [PhaseSpec(compute=max(1, int(p.compute * scale)),
+                                repeats=p.repeats, sync=p.sync,
+                                critical_hold=p.critical_hold,
+                                jitter_cv=p.jitter_cv)
+                      for p in phases]
+        return cls(name, threads, list(phases), locks=locks, rounds=rounds)
 
     def install(self, kernel: GuestKernel, rng: np.random.Generator) -> None:
         self._mark_installed(kernel)
@@ -76,19 +131,22 @@ class SyntheticWorkload(Workload):
                          self._program(t, trng), vcpu_index=vcpu)
 
     def _program(self, t: int, rng: np.random.Generator) -> Iterator[Op]:
-        for pi, phase in enumerate(self.phases):
-            for r in range(phase.repeats):
-                yield Compute(jittered(rng, phase.compute, phase.jitter_cv))
-                if phase.sync == "barrier":
-                    yield BarrierOp(f"{self.name}.bar")
-                elif phase.sync == "critical":
-                    lock = f"{self.name}.lk{(t + r) % self.nlocks}"
-                    yield Critical(lock, phase.critical_hold)
-                elif phase.sync == "sem_pingpong":
-                    if t % 2 == 0:
-                        yield SemUp(f"{self.name}.sem")
-                    else:
-                        yield SemDown(f"{self.name}.sem")
+        for _round in range(self.rounds):
+            for pi, phase in enumerate(self.phases):
+                for r in range(phase.repeats):
+                    yield Compute(jittered(rng, phase.compute,
+                                           phase.jitter_cv))
+                    if phase.sync == "barrier":
+                        yield BarrierOp(f"{self.name}.bar")
+                    elif phase.sync == "critical":
+                        lock = f"{self.name}.lk{(t + r) % self.nlocks}"
+                        yield Critical(lock, phase.critical_hold)
+                    elif phase.sync == "sem_pingpong":
+                        if t % 2 == 0:
+                            yield SemUp(f"{self.name}.sem")
+                        else:
+                            yield SemDown(f"{self.name}.sem")
+            self._note_round(t)
 
     def describe(self) -> Dict[str, object]:
         d = super().describe()

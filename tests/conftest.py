@@ -1,9 +1,32 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Also provides ``--shuffle-seed N``: a deterministic random reordering of
+the collected test items.  Every test module must pass standalone and in
+any order; the CI randomized-order step rotates the seed to keep hidden
+inter-test coupling from creeping back in.
+"""
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--shuffle-seed", type=int, default=None, metavar="N",
+        help="deterministically shuffle test order with this seed "
+             "(default: collection order)")
+
+
+def pytest_collection_modifyitems(config: pytest.Config,
+                                  items: list) -> None:
+    seed = config.getoption("--shuffle-seed")
+    if seed is None:
+        return
+    random.Random(seed).shuffle(items)
 
 from repro.config import (GuestConfig, MachineConfig, SchedulerConfig,
                           VMConfig)

@@ -1,0 +1,102 @@
+"""Edge cases for the ``--faults`` vocabulary: FaultSpec.parse round-trip
+and the CLI's error surfacing.
+
+Every malformed spec must come back as a clear ConfigurationError (or a
+clean ``SystemExit`` through the CLI helper), never a raw ValueError /
+TypeError traceback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import _parse_faults
+from repro.errors import ConfigurationError
+from repro.faults.spec import FaultSpec
+
+
+class TestParseEdges:
+    def test_empty_and_none_are_noop(self):
+        assert FaultSpec.parse("").is_noop()
+        assert FaultSpec.parse("   ").is_noop()
+        assert FaultSpec.parse("none").is_noop()
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FaultSpec.parse("hypercall_loss=0.1,hypercall_loss=0.2")
+
+    def test_duplicate_keys_rejected_even_when_equal(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            FaultSpec.parse("ipi_drop=0.1,ipi_drop=0.1")
+
+    def test_unknown_field_lists_choices(self):
+        with pytest.raises(ConfigurationError) as err:
+            FaultSpec.parse("hypercall_lossy=0.5")
+        assert "hypercall_loss" in str(err.value)  # suggestions included
+
+    def test_missing_equals_sign(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            FaultSpec.parse("hypercall_loss")
+
+    def test_bad_numeric_value(self):
+        with pytest.raises(ConfigurationError, match="bad value"):
+            FaultSpec.parse("hypercall_loss=lots")
+
+    def test_bad_pcpu_list_value(self):
+        with pytest.raises(ConfigurationError, match="bad value"):
+            FaultSpec.parse("degraded_pcpus=0+x,degraded_speed=0.5")
+
+    def test_out_of_range_probability(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("hypercall_loss=1.5")
+
+    def test_bad_monitor_mode(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec.parse("monitor_mode=confused")
+
+    def test_degraded_pcpus_without_speed_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="no-op"):
+            FaultSpec.parse("degraded_pcpus=0")
+
+
+class TestRoundTrip:
+    def test_describe_parse_round_trip(self):
+        spec = FaultSpec(hypercall_loss=0.25, ipi_jitter_cycles=5_000,
+                         degraded_pcpus=(0, 3), degraded_speed=0.5)
+        again = FaultSpec.parse(spec.describe())
+        assert dataclasses.replace(again, seed=spec.seed) == spec
+
+    def test_noop_describe_round_trip(self):
+        assert FaultSpec.parse(FaultSpec().describe()).is_noop()
+
+    def test_every_fault_class_round_trips(self):
+        from repro.experiments.robustness import FAULT_CLASSES
+        for name, spec in FAULT_CLASSES.items():
+            text = spec.describe()
+            again = FaultSpec.parse(text)
+            assert dataclasses.replace(again, seed=spec.seed) == spec, name
+
+
+class TestCliSurface:
+    def test_cli_absent_is_none(self):
+        assert _parse_faults(None) is None
+
+    def test_cli_noop_collapses_to_none(self):
+        assert _parse_faults("none") is None
+        assert _parse_faults("") is None
+
+    def test_cli_valid_spec(self):
+        spec = _parse_faults("hypercall_loss=0.5")
+        assert spec is not None and spec.hypercall_loss == 0.5
+
+    def test_cli_error_is_systemexit_not_traceback(self):
+        with pytest.raises(SystemExit) as err:
+            _parse_faults("hypercall_loss=0.1,hypercall_loss=0.2")
+        assert "duplicate" in str(err.value)
+
+    def test_cli_unknown_site_is_systemexit(self):
+        with pytest.raises(SystemExit) as err:
+            _parse_faults("warp_drive=1")
+        assert "unknown fault field" in str(err.value)

@@ -1,0 +1,111 @@
+"""Property-based tests for the modified Roth-Erev learner.
+
+Whatever interval sequence the Monitoring Module feeds it, the learner's
+internal state must stay well-formed: propensities positive and finite,
+the implied choice distribution a distribution, and every estimate a
+member of the candidate set.  Also pins the under-coscheduling corner
+where the chosen duration is already the longest candidate (the
+top-candidate reinforcement regression): the distribution must not
+collapse to the floor, and the learner must converge to the longest
+candidate and stay there.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LearningConfig
+from repro.asman.learning import RothErevLearner, _PROPENSITY_FLOOR
+
+#: Small candidate grid so short random sequences still move the argmax.
+CANDIDATES = (1_000, 2_000, 4_000, 8_000, 16_000)
+
+intervals = st.lists(st.integers(min_value=0, max_value=50_000),
+                     min_size=1, max_size=40)
+params = st.fixed_dictionaries({
+    "recency": st.floats(min_value=0.0, max_value=0.9),
+    "experimentation": st.floats(min_value=0.0, max_value=0.9),
+})
+
+
+def make_learner(seed: int = 1, **overrides) -> RothErevLearner:
+    cfg = LearningConfig(candidates=CANDIDATES, **overrides)
+    return RothErevLearner(cfg, np.random.default_rng(seed))
+
+
+class TestStateWellFormed:
+    @settings(max_examples=150, deadline=None)
+    @given(zs=intervals, p=params)
+    def test_propensities_positive_and_finite(self, zs, p):
+        learner = make_learner(recency=p["recency"],
+                               experimentation=p["experimentation"])
+        learner.train(zs)
+        q = learner.propensities()
+        assert np.all(np.isfinite(q))
+        assert np.all(q >= _PROPENSITY_FLOOR)
+
+    @settings(max_examples=150, deadline=None)
+    @given(zs=intervals, p=params)
+    def test_choice_distribution_sums_to_one(self, zs, p):
+        learner = make_learner(recency=p["recency"],
+                               experimentation=p["experimentation"])
+        learner.train(zs)
+        q = np.maximum(learner.propensities(), _PROPENSITY_FLOOR)
+        probs = q / q.sum()
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs >= 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(zs=intervals, seed=st.integers(min_value=0, max_value=2**31))
+    def test_estimates_are_candidates(self, zs, seed):
+        learner = make_learner(seed=seed)
+        for est in learner.train(zs):
+            assert est in CANDIDATES
+
+    @settings(max_examples=100, deadline=None)
+    @given(zs=intervals)
+    def test_event_counters_partition_updates(self, zs):
+        learner = make_learner()
+        learner.train(zs)
+        assert (learner.under_cosched_updates
+                + learner.proportional_updates) == len(zs)
+
+
+class TestLargestCandidateRegression:
+    """Repeated under-coscheduling must saturate at the top candidate,
+    not bleed all probability mass to the propensity floor."""
+
+    def test_converges_to_longest_candidate(self):
+        learner = make_learner()
+        # z barely above x: slack <= delta, the under-coscheduling branch.
+        est = learner.next_estimate(None)
+        for _ in range(50):
+            est = learner.next_estimate(est + 1)
+        assert est == CANDIDATES[-1]
+        # ... and stays there once it is the chosen duration itself.
+        for _ in range(20):
+            est = learner.next_estimate(est + 1)
+            assert est == CANDIDATES[-1]
+
+    def test_top_candidate_propensity_dominates(self):
+        learner = make_learner()
+        est = learner.next_estimate(None)
+        for _ in range(60):
+            est = learner.next_estimate(est + 1)
+        q = learner.propensities()
+        assert int(np.argmax(q)) == len(CANDIDATES) - 1
+        assert q[-1] > 10 * _PROPENSITY_FLOOR
+
+    @settings(max_examples=60, deadline=None)
+    @given(p=params)
+    def test_no_collapse_under_any_parameters(self, p):
+        learner = make_learner(recency=p["recency"],
+                               experimentation=p["experimentation"])
+        est = learner.next_estimate(None)
+        for _ in range(40):
+            est = learner.next_estimate(est + 1)
+        # At least one propensity must sit well above the floor.
+        assert learner.propensities().max() > 10 * _PROPENSITY_FLOOR

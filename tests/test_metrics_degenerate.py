@@ -1,0 +1,134 @@
+"""Degenerate-input coverage for TimelineCollector and fairness metrics.
+
+Zero-length runs, empty traces, single-VM and single-VCPU machines: the
+metrics layer must return exact well-defined values (a lone VM is
+*exactly* 1.0 fair) and never divide by zero.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import MachineConfig, SchedulerConfig, VMConfig
+from repro.errors import ConfigurationError
+from repro.hardware.machine import Machine
+from repro.metrics.fairness import FairnessReport, jains_index
+from repro.metrics.timeline import TimelineCollector
+from repro.sim.engine import Simulator
+from repro.sim.tracing import TraceBus
+from repro.vmm.credit import CreditScheduler
+from repro.vmm.vm import VM
+
+
+class TestJainsIndex:
+    def test_single_value_is_exactly_one(self):
+        assert jains_index([0.7]) == 1.0
+        assert jains_index([123.0]) == 1.0
+
+    def test_equal_values_are_exactly_one(self):
+        assert jains_index([0.5, 0.5, 0.5]) == 1.0
+
+    def test_all_zero_shares_are_fair(self):
+        # Nobody ran; nobody was favoured.  Must not divide by zero.
+        assert jains_index([0.0, 0.0]) == 1.0
+
+    def test_denormal_squares_do_not_divide_by_zero(self):
+        tiny = 5e-324  # smallest subnormal; tiny**2 underflows to 0.0
+        assert jains_index([tiny, tiny]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jains_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jains_index([1.0, -0.1])
+
+    def test_maximal_unfairness_is_one_over_n(self):
+        assert jains_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+
+class TestFairnessReport:
+    def _vm(self, sim, trace, vm_id=0, name="vm0", vcpus=1):
+        return VM(vm_id, VMConfig(name=name, num_vcpus=vcpus), sim, trace)
+
+    def test_zero_elapsed_rejected(self):
+        sim, trace = Simulator(), TraceBus()
+        vm = self._vm(sim, trace)
+        with pytest.raises(ConfigurationError):
+            FairnessReport([vm], elapsed_cycles=0, num_pcpus=1)
+
+    def test_single_vm_is_exactly_fair(self):
+        sim, trace = Simulator(), TraceBus()
+        vm = self._vm(sim, trace)
+        report = FairnessReport([vm], elapsed_cycles=1_000, num_pcpus=1)
+        assert report.jains() == 1.0
+        share = report.by_vm()["vm0"]
+        assert share.entitled_fraction == 1.0
+
+    def test_idle_vms_report_fair_not_crash(self):
+        # Nobody has any cpu_time yet: shares are all zero.
+        sim, trace = Simulator(), TraceBus()
+        vms = [self._vm(sim, trace, i, f"vm{i}") for i in range(3)]
+        report = FairnessReport(vms, elapsed_cycles=1_000, num_pcpus=2)
+        assert report.jains() == 1.0
+        assert report.max_relative_error() == 1.0  # entitled but idle
+
+    def test_zero_weight_vm_has_no_relative_error(self):
+        sim, trace = Simulator(), TraceBus()
+        vm = self._vm(sim, trace)
+        report = FairnessReport([vm], elapsed_cycles=1_000, num_pcpus=1)
+        share = report.shares[0]
+        assert share.relative_error == 1.0  # idle vs full entitlement
+
+
+class TestTimelineDegenerate:
+    def test_zero_length_run_is_empty_everywhere(self):
+        sim, trace = Simulator(), TraceBus()
+        tl = TimelineCollector(trace, sim)
+        tl.close()  # immediately, at t=0, with no events at all
+        assert tl.segments == []
+        assert tl.pcpu_segments(0) == []
+        assert tl.vcpu_intervals("vm0/v0") == []
+        assert tl.vm_vcpu_names("vm0") == []
+        assert tl.concurrency_profile("vm0") == {}
+        assert tl.co_online_fraction("vm0") == 0.0
+
+    def test_empty_gantt_window(self):
+        sim, trace = Simulator(), TraceBus()
+        tl = TimelineCollector(trace, sim)
+        assert tl.gantt(5, 5) == "(empty window)"
+        assert tl.gantt(7, 3) == "(empty window)"
+
+    def test_instantaneous_occupation_yields_no_segment(self):
+        sim, trace = Simulator(), TraceBus()
+        tl = TimelineCollector(trace, sim)
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="vm0/v0")
+        trace.emit(0, "sched.switch", pcpu=0, vcpu=None)
+        tl.close()
+        assert tl.segments == []
+
+    def test_single_vcpu_machine_co_online_is_total(self):
+        """On a 1-PCPU machine a 1-VCPU VM is trivially always co-online:
+        the fraction must be exactly 1.0 whenever the VCPU ran at all."""
+        from repro import units
+        from repro.guest.ops import Compute
+        from tests.conftest import Harness
+
+        h = Harness(num_pcpus=1, num_vcpus=1)
+        tl = TimelineCollector(h.trace, h.sim)
+        h.kernel.spawn("t", iter((Compute(units.ms(1)),)), 0)
+        assert h.run_until_done()
+        tl.close()
+        assert tl.vm_vcpu_names("vm0") == ["vm0/v0"]
+        assert tl.co_online_fraction("vm0") == 1.0
+
+    def test_close_is_a_snapshot_not_a_shutdown(self):
+        sim, trace = Simulator(), TraceBus()
+        tl = TimelineCollector(trace, sim)
+        trace.emit(0, "sched.switch", pcpu=0, vcpu="vm0/v0")
+        sim.at(100, lambda: None)
+        sim.run_until(100)
+        tl.close()
+        tl.close()  # closing twice must not double-count
+        assert [(s.start, s.end) for s in tl.pcpu_segments(0)] == [(0, 100)]
