@@ -3,12 +3,21 @@
 Two layers, both guarding the same contract (bit-identical determinism
 and faithful scheduler mechanics):
 
-* :mod:`repro.analysis.simlint` — AST-based static checker with
+* :mod:`repro.analysis.simlint` — per-file AST checker with
   sim-specific rules (``python -m repro lint``).
+* :mod:`repro.analysis.engine` / :mod:`repro.analysis.callgraph` /
+  :mod:`repro.analysis.taint` / :mod:`repro.analysis.rules_interproc` —
+  the whole-program layer behind ``python -m repro lint
+  --interprocedural``: module indexing, project call graph, forward
+  dataflow/taint, RNG-provenance + cycle-unit + transitive wall-clock
+  rules, SARIF output (:mod:`repro.analysis.sarif`) and the
+  ``analysis-baseline.json`` suppression workflow.
 * :mod:`repro.analysis.sanitizer` — opt-in runtime invariant checker
   for the VMM scheduler (``--sanitize`` / ``REPRO_SANITIZE=1``), in the
   spirit of ThreadSanitizer: heavy checks after every scheduling
   decision, zero overhead when off.
+* :mod:`repro.analysis.parity` — the table tying static rules to
+  runtime checks so neither plane grows without the other noticing.
 """
 
 from __future__ import annotations
@@ -16,7 +25,8 @@ from __future__ import annotations
 import os
 from typing import Optional
 
-from repro.analysis.sanitizer import SanitizerViolation, SchedulerSanitizer
+from repro.analysis.sanitizer import (RUNTIME_CHECKS, SanitizerViolation,
+                                      SchedulerSanitizer)
 from repro.analysis.simlint import (
     LintReport,
     RULES,
@@ -26,6 +36,8 @@ from repro.analysis.simlint import (
     lint_file,
     lint_paths,
     lint_source,
+    lint_tree,
+    parse_pragmas,
     render_json,
     render_text,
 )
@@ -33,6 +45,7 @@ from repro.analysis.simlint import (
 __all__ = [
     "LintReport",
     "RULES",
+    "RUNTIME_CHECKS",
     "SIM_PACKAGES",
     "SanitizerViolation",
     "SchedulerSanitizer",
@@ -41,6 +54,8 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
+    "parse_pragmas",
     "render_json",
     "render_text",
     "sanitize_enabled",

@@ -1,0 +1,630 @@
+"""Whole-program analysis engine for the reproduction (simlint v2).
+
+simlint's per-file AST rules (:mod:`repro.analysis.simlint`) cannot see a
+``time.time()`` reached through two helper calls, an unseeded generator
+laundered through a wrapper, or a millisecond value flowing into a
+cycle-denominated argument across a function boundary.  This module adds
+the missing substrate:
+
+* :class:`Project` — a module indexer over one package tree: every file
+  parsed once, imports resolved to fully-qualified names, classes,
+  methods, base classes and instance-attribute types collected into a
+  queryable symbol table.
+* a light type-inference layer (annotations, ``self.x = param``
+  propagation, constructor assignments, ``Type[X]`` factory returns)
+  that :mod:`repro.analysis.callgraph` uses for method resolution —
+  including virtual dispatch through the scheduler registry's
+  ``SchedulerBase`` surface and the ``CellSpec``/``FaultSpec``
+  dataclass fields.
+* :class:`AnalysisReport` plus the suppression **baseline**: findings
+  are content-fingerprinted (rule + file + anchor-line text, line-number
+  independent) and partitioned against a checked-in
+  ``analysis-baseline.json`` — new findings fail, grandfathered ones are
+  budgeted and counted, stale entries are reported so the baseline can
+  only shrink.
+
+The interprocedural rule families themselves live in
+:mod:`repro.analysis.rules_interproc`; :func:`analyze` is the one-call
+driver the CLI uses (``python -m repro lint --interprocedural``).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis import simlint
+from repro.analysis.simlint import Violation
+
+__all__ = [
+    "AnalysisReport",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "Project",
+    "analyze",
+    "fingerprint_violation",
+    "load_baseline",
+    "partition_against_baseline",
+    "stable_rel_path",
+    "write_baseline",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Marker prefix for ``Type[X]`` annotations: a value holding the class
+#: object itself (calling it constructs an X).
+_TYPE_OF = "type:"
+
+
+# --------------------------------------------------------------------- #
+# Symbol table dataclasses
+# --------------------------------------------------------------------- #
+@dataclass
+class FunctionInfo:
+    """One function or method, with resolved parameter/return types."""
+
+    qname: str                      #: e.g. ``repro.vmm.credit.CreditScheduler.schedule``
+    module: str                     #: defining module's dotted name
+    cls: Optional[str]              #: owning class qname, or None
+    node: FunctionNode
+    params: List[str] = field(default_factory=list)
+    param_types: Dict[str, str] = field(default_factory=dict)
+    return_type: Optional[str] = None
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class: resolved bases, methods, instance-attribute types."""
+
+    qname: str
+    module: str
+    node: ast.ClassDef
+    bases: List[str] = field(default_factory=list)
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: instance attribute -> resolved type qname (dataclass fields,
+    #: ``self.x: T`` annotations, ``self.x = <typed param>`` assignments).
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its import table and top-level symbols."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    #: local alias -> fully-qualified target (``np`` -> ``numpy``,
+    #: ``ms`` -> ``repro.units.ms``, ``FaultSpec`` ->
+    #: ``repro.faults.spec.FaultSpec``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level straight aliases (``X = SomeClass``).
+    assigns: Dict[str, str] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------- #
+# Project indexing
+# --------------------------------------------------------------------- #
+class Project:
+    """An indexed package tree, queryable by fully-qualified name."""
+
+    def __init__(self, root: Path, package: str) -> None:
+        self.root = root
+        self.package = package
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: class qname -> transitive subclass qnames (project classes).
+        self.subclasses: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------- #
+    @classmethod
+    def load(cls, root: Union[str, Path]) -> "Project":
+        """Index every ``*.py`` under ``root`` (a package directory).
+
+        The package's dotted name is the directory name; submodules are
+        named relative to it (``<root>/vmm/credit.py`` ->
+        ``<root.name>.vmm.credit``).
+        """
+        root = Path(root).resolve()
+        if not root.is_dir():
+            raise ValueError(f"project root {root} is not a directory")
+        project = cls(root, root.name)
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            parts = [root.name] + list(rel.parts[:-1])
+            stem = rel.parts[-1][:-3]
+            if stem != "__init__":
+                parts.append(stem)
+            modname = ".".join(parts)
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+            project.modules[modname] = ModuleInfo(
+                name=modname, path=path, source=source, tree=tree)
+        for mod in project.modules.values():
+            project._index_module(mod)
+        for mod in project.modules.values():
+            project._resolve_types(mod)
+        project._build_subclass_map()
+        return project
+
+    # -- pass 1: imports + defs ----------------------------------------- #
+    def _index_module(self, mod: ModuleInfo) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(mod, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{base}.{alias.name}"
+        for stmt in mod.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FunctionInfo(
+                    qname=f"{mod.name}.{stmt.name}", module=mod.name,
+                    cls=None, node=stmt)
+                mod.functions[stmt.name] = info
+                self.functions[info.qname] = info
+            elif isinstance(stmt, ast.ClassDef):
+                cinfo = ClassInfo(qname=f"{mod.name}.{stmt.name}",
+                                  module=mod.name, node=stmt)
+                for item in stmt.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        finfo = FunctionInfo(
+                            qname=f"{cinfo.qname}.{item.name}",
+                            module=mod.name, cls=cinfo.qname, node=item)
+                        cinfo.methods[item.name] = finfo
+                        self.functions[finfo.qname] = finfo
+                mod.classes[stmt.name] = cinfo
+                self.classes[cinfo.qname] = cinfo
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Name):
+                mod.assigns[stmt.targets[0].id] = stmt.value.id
+
+    def _import_base(self, mod: ModuleInfo,
+                     node: ast.ImportFrom) -> Optional[str]:
+        """Absolute dotted prefix for a ``from X import ...`` statement."""
+        if node.level == 0:
+            return node.module
+        # Relative import: climb from the importing module's package.
+        parts = mod.name.split(".")
+        # A module's own package is its name minus the leaf (packages
+        # themselves — __init__ — already are the package name).
+        is_pkg = mod.path.name == "__init__.py"
+        pkg_parts = parts if is_pkg else parts[:-1]
+        up = node.level - 1
+        if up > len(pkg_parts):
+            return None
+        base_parts = pkg_parts[:len(pkg_parts) - up]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    # -- name / annotation resolution ----------------------------------- #
+    def resolve_name(self, mod: ModuleInfo, dotted: str) -> str:
+        """Resolve a possibly-aliased dotted name to a fully-qualified
+        one; unknown names pass through unchanged (external symbols)."""
+        head, _, rest = dotted.partition(".")
+        target: Optional[str] = None
+        if head in mod.imports:
+            target = mod.imports[head]
+        elif head in mod.assigns:
+            target = self.resolve_name(mod, mod.assigns[head])
+        elif head in mod.functions or head in mod.classes:
+            target = f"{mod.name}.{head}"
+        if target is None:
+            target = head
+        return f"{target}.{rest}" if rest else target
+
+    def resolve_annotation(self, mod: ModuleInfo,
+                           node: Optional[ast.expr]) -> Optional[str]:
+        """Best-effort type qname for an annotation expression.
+
+        Handles names, dotted names, string annotations, ``Optional[X]``
+        / ``Union[X, None]`` unwrapping and ``Type[X]`` (returned with a
+        ``type:`` prefix).  Container annotations resolve to ``None`` —
+        this layer tracks nominal object types only.
+        """
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return self.resolve_annotation(mod, parsed)
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            dotted = _dotted_name(node)
+            return self.resolve_name(mod, dotted) if dotted else None
+        if isinstance(node, ast.Subscript):
+            base = _dotted_name(node.value)
+            if base is None:
+                return None
+            resolved = self.resolve_name(mod, base)
+            tail = resolved.rsplit(".", 1)[-1]
+            if tail in ("Optional", "Union"):
+                elts = node.slice.elts \
+                    if isinstance(node.slice, ast.Tuple) else [node.slice]
+                for elt in elts:
+                    if isinstance(elt, ast.Constant) and elt.value is None:
+                        continue
+                    inner = self.resolve_annotation(mod, elt)
+                    if inner is not None:
+                        return inner
+                return None
+            if tail in ("Type", "type"):
+                inner = self.resolve_annotation(mod, node.slice)
+                return f"{_TYPE_OF}{inner}" if inner else None
+            return None
+        return None
+
+    # -- pass 2: types --------------------------------------------------- #
+    def _resolve_types(self, mod: ModuleInfo) -> None:
+        for finfo in mod.functions.values():
+            self._resolve_signature(mod, finfo)
+        for cinfo in mod.classes.values():
+            for base in cinfo.node.bases:
+                dotted = _dotted_name(base)
+                if dotted:
+                    cinfo.bases.append(self.resolve_name(mod, dotted))
+            for item in cinfo.node.body:
+                # Dataclass fields / class-level annotations type the
+                # matching instance attribute.
+                if isinstance(item, ast.AnnAssign) \
+                        and isinstance(item.target, ast.Name):
+                    anno = self.resolve_annotation(mod, item.annotation)
+                    if anno is not None:
+                        cinfo.attr_types[item.target.id] = anno
+            for minfo in cinfo.methods.values():
+                self._resolve_signature(mod, minfo)
+            for minfo in cinfo.methods.values():
+                self._collect_attr_types(mod, cinfo, minfo)
+
+    def _resolve_signature(self, mod: ModuleInfo, finfo: FunctionInfo) -> None:
+        args = finfo.node.args
+        everything = args.posonlyargs + args.args + args.kwonlyargs
+        finfo.params = [a.arg for a in everything]
+        for a in everything:
+            anno = self.resolve_annotation(mod, a.annotation)
+            if anno is not None:
+                finfo.param_types[a.arg] = anno
+        finfo.return_type = self.resolve_annotation(mod, finfo.node.returns)
+
+    def _collect_attr_types(self, mod: ModuleInfo, cinfo: ClassInfo,
+                            minfo: FunctionInfo) -> None:
+        """``self.x: T``, ``self.x = <typed param>``, ``self.x = C(...)``."""
+        for stmt in ast.walk(minfo.node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            anno: Optional[str] = None
+            if isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+                anno = self.resolve_annotation(mod, stmt.annotation)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            attr = target.attr
+            if anno is None and value is not None:
+                anno = self._infer_expr_type(mod, minfo, value)
+            if anno is not None and attr not in cinfo.attr_types:
+                cinfo.attr_types[attr] = anno
+
+    def _infer_expr_type(self, mod: ModuleInfo, finfo: FunctionInfo,
+                         expr: ast.expr) -> Optional[str]:
+        """Shallow rvalue typing: params, constructors, typed factories."""
+        if isinstance(expr, ast.Name):
+            return finfo.param_types.get(expr.id)
+        if isinstance(expr, ast.Call):
+            dotted = _dotted_name(expr.func)
+            if dotted is None:
+                return None
+            qname = self.resolve_name(mod, dotted)
+            if qname in self.classes:
+                return qname
+            callee = self.functions.get(qname)
+            if callee is not None and callee.return_type is not None:
+                rt = callee.return_type
+                # Calling a Type[X] factory's *result* yields an X; the
+                # factory call itself yields the class object.
+                return rt
+        return None
+
+    # -- pass 3: hierarchy ----------------------------------------------- #
+    def _build_subclass_map(self) -> None:
+        direct: Dict[str, Set[str]] = {}
+        for cinfo in self.classes.values():
+            for base in cinfo.bases:
+                direct.setdefault(base, set()).add(cinfo.qname)
+        for qname in self.classes:
+            seen: Set[str] = set()
+            frontier = list(direct.get(qname, ()))
+            while frontier:
+                sub = frontier.pop()
+                if sub in seen:
+                    continue
+                seen.add(sub)
+                frontier.extend(direct.get(sub, ()))
+            self.subclasses[qname] = seen
+
+    # -- queries ---------------------------------------------------------- #
+    def lookup_method(self, class_qname: str,
+                      method: str) -> Optional[FunctionInfo]:
+        """Resolve a method through the class's (project-local) MRO."""
+        seen: Set[str] = set()
+        frontier = [class_qname]
+        while frontier:
+            qname = frontier.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            cinfo = self.classes.get(qname)
+            if cinfo is None:
+                continue
+            if method in cinfo.methods:
+                return cinfo.methods[method]
+            frontier.extend(cinfo.bases)
+        return None
+
+    def attr_type(self, class_qname: str, attr: str) -> Optional[str]:
+        """Instance-attribute type through the class hierarchy."""
+        seen: Set[str] = set()
+        frontier = [class_qname]
+        while frontier:
+            qname = frontier.pop(0)
+            if qname in seen:
+                continue
+            seen.add(qname)
+            cinfo = self.classes.get(qname)
+            if cinfo is None:
+                continue
+            if attr in cinfo.attr_types:
+                return cinfo.attr_types[attr]
+            frontier.extend(cinfo.bases)
+        return None
+
+    def is_subclass_of(self, qname: str, base: str) -> bool:
+        return qname == base or qname in self.subclasses.get(base, ())
+
+    def rel_path(self, path: Path) -> str:
+        """Path rendered relative to the package parent (stable across
+        checkouts: ``repro/vmm/credit.py``)."""
+        try:
+            return str(Path(path).resolve().relative_to(self.root.parent))
+        except ValueError:
+            return str(path)
+
+
+def _dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Report + baseline
+# --------------------------------------------------------------------- #
+@dataclass
+class AnalysisReport:
+    """Outcome of one whole-program lint run (per-file + interprocedural),
+    partitioned against the suppression baseline."""
+
+    violations: List[Violation]          #: everything found, pre-baseline
+    files_checked: int
+    pragmas_used: int
+    waivers_by_rule: Dict[str, int]
+    new: List[Violation]                 #: not in the baseline -> fail
+    grandfathered: List[Violation]       #: baselined, counted not fatal
+    stale_baseline: List[Dict[str, object]]  #: entries that no longer match
+    interprocedural: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def stable_rel_path(path: Union[str, Path]) -> str:
+    """Checkout-independent rendering of a source path: the tail from
+    the last ``repro`` component on (``repro/vmm/credit.py``)."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return Path(path).name
+
+
+def fingerprint_violation(v: Violation, source_lines: Sequence[str],
+                          occurrence: int = 0) -> str:
+    """Content fingerprint: rule + repo-relative file + stripped
+    anchor-line text + occurrence index — stable under unrelated line
+    insertions and across checkout locations."""
+    anchor = ""
+    if 1 <= v.line <= len(source_lines):
+        anchor = source_lines[v.line - 1].strip()
+    payload = f"{v.rule}|{stable_rel_path(v.path)}|{anchor}|{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _fingerprints(violations: Sequence[Violation],
+                  sources: Dict[str, List[str]]) -> List[str]:
+    """Fingerprint each violation, disambiguating identical anchors."""
+    seen: Dict[str, int] = {}
+    out: List[str] = []
+    for v in violations:
+        lines = sources.get(v.path, [])
+        base = fingerprint_violation(v, lines, 0)
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out.append(base if occurrence == 0
+                   else fingerprint_violation(v, lines, occurrence))
+    return out
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a baseline document; raises ValueError on schema mismatch."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("version") != 1:
+        raise ValueError(f"unsupported baseline schema in {path}")
+    if not isinstance(doc.get("findings"), list):
+        raise ValueError(f"baseline {path} has no findings list")
+    return doc
+
+
+def write_baseline(violations: Sequence[Violation],
+                   sources: Dict[str, List[str]],
+                   path: Union[str, Path]) -> Path:
+    """Write the current findings as the new suppression baseline."""
+    fps = _fingerprints(violations, sources)
+    findings = [
+        {"fingerprint": fp, "rule": v.rule,
+         "path": stable_rel_path(v.path),
+         "line": v.line, "message": v.message}
+        for fp, v in sorted(zip(fps, violations), key=lambda t: t[0])
+    ]
+    doc = {"version": 1, "tool": "simlint-interprocedural",
+           "findings": findings}
+    out = Path(path)
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out
+
+
+def partition_against_baseline(
+        violations: Sequence[Violation],
+        sources: Dict[str, List[str]],
+        baseline: Optional[Dict[str, object]],
+) -> Tuple[List[Violation], List[Violation], List[Dict[str, object]]]:
+    """Split findings into (new, grandfathered) and list stale baseline
+    entries (budgeted findings that no longer occur — prune them)."""
+    if baseline is None:
+        return list(violations), [], []
+    known = {str(f.get("fingerprint")): dict(f)
+             for f in baseline.get("findings", [])  # type: ignore[union-attr]
+             if isinstance(f, dict)}
+    new: List[Violation] = []
+    grandfathered: List[Violation] = []
+    matched: Set[str] = set()
+    for v, fp in zip(violations, _fingerprints(violations, sources)):
+        if fp in known:
+            matched.add(fp)
+            grandfathered.append(v)
+        else:
+            new.append(v)
+    stale = [known[fp] for fp in sorted(set(known) - matched)]
+    return new, grandfathered, stale
+
+
+# --------------------------------------------------------------------- #
+# The driver
+# --------------------------------------------------------------------- #
+def analyze(root: Union[str, Path],
+            rules: Optional[Iterable[str]] = None,
+            baseline: Optional[Dict[str, object]] = None,
+            changed_files: Optional[Iterable[Union[str, Path]]] = None,
+            assume_sim: bool = False,
+            ) -> Tuple[AnalysisReport, Project, Dict[str, List[str]]]:
+    """Run the whole-program analysis over one package tree.
+
+    Per-file simlint rules run on every indexed module (reusing the
+    engine's parse), then the interprocedural rule families from
+    :mod:`repro.analysis.rules_interproc` run over the project call
+    graph.  ``changed_files`` restricts *reporting* to those files
+    (``--diff`` mode) while the index and call graph still span the
+    whole project — an interprocedural leak introduced by editing a
+    helper is attributed to the changed file that contains it.
+
+    Returns ``(report, project, sources)`` where ``sources`` maps each
+    violation path to its source lines (for fingerprinting/SARIF).
+    """
+    from repro.analysis.rules_interproc import (INTERPROC_RULES,
+                                                run_interproc_rules)
+
+    project = Project.load(root)
+    active = set(rules) if rules is not None else \
+        set(simlint.RULES) | set(INTERPROC_RULES)
+    unknown = active - set(simlint.RULES) - set(INTERPROC_RULES)
+    if unknown:
+        raise ValueError(f"unknown simlint rule(s): {sorted(unknown)}")
+    perfile_rules = active & set(simlint.RULES)
+    interproc_rules = active & set(INTERPROC_RULES)
+
+    changed: Optional[Set[str]] = None
+    if changed_files is not None:
+        changed = {str(Path(p).resolve()) for p in changed_files}
+
+    violations: List[Violation] = []
+    pragmas = 0
+    waivers: Dict[str, int] = {}
+    sources: Dict[str, List[str]] = {}
+    pragma_tables: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+
+    for mod in sorted(project.modules.values(), key=lambda m: str(m.path)):
+        path_key = str(mod.path)
+        sources[path_key] = mod.source.splitlines()
+        pragma_tables[path_key] = simlint.parse_pragmas(mod.source)
+        in_diff = changed is None or str(mod.path.resolve()) in changed
+        if perfile_rules and in_diff:
+            sim_scope, hot = simlint._scope_of(mod.path, assume_sim)
+            found, used, per_rule = simlint.lint_tree(
+                mod.tree, mod.source, path=path_key, sim_scope=sim_scope,
+                hot_module=hot, rules=perfile_rules)
+            violations.extend(found)
+            pragmas += used
+            for rule, n in per_rule.items():
+                waivers[rule] = waivers.get(rule, 0) + n
+
+    if interproc_rules:
+        interproc_found = run_interproc_rules(
+            project, rules=interproc_rules, assume_sim=assume_sim)
+        for v in interproc_found:
+            if changed is not None \
+                    and str(Path(v.path).resolve()) not in changed:
+                continue
+            table = pragma_tables.get(v.path, {})
+            waived = table.get(v.line, "absent")
+            if waived != "absent" and (waived is None
+                                       or v.rule in waived):  # type: ignore[operator]
+                pragmas += 1
+                waivers[v.rule] = waivers.get(v.rule, 0) + 1
+                continue
+            violations.append(v)
+
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    new, grandfathered, stale = partition_against_baseline(
+        violations, sources, baseline)
+    report = AnalysisReport(
+        violations=violations, files_checked=len(project.modules),
+        pragmas_used=pragmas,
+        waivers_by_rule=dict(sorted(waivers.items())),
+        new=new, grandfathered=grandfathered, stale_baseline=stale,
+        interprocedural=bool(interproc_rules))
+    return report, project, sources

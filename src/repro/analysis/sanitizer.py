@@ -62,6 +62,26 @@ if TYPE_CHECKING:  # pragma: no cover
 #: shares accumulate rounding error over thousands of periods).
 _EPS = 1e-6
 
+#: Check id -> one-line description of every invariant this sanitizer
+#: enforces at runtime.  :mod:`repro.analysis.parity` cross-references
+#: this registry against the static rule tables; add an entry here (and
+#: a row there) when adding a check, or the parity test fails loudly.
+RUNTIME_CHECKS: Dict[str, str] = {
+    "placement": "each VCPU on at most one PCPU; PCPU/VCPU linkage "
+                 "mutually consistent",
+    "runq-membership": "RUNNABLE iff in exactly one runq; home queue "
+                       "and global counters agree (check_invariants)",
+    "credit-conservation": "total credit only falls between "
+                           "assignments; assignments respect the "
+                           "Algorithm 3 ceiling",
+    "gang-atomicity": "coscheduled VMs park/unpark all-or-nothing; "
+                      "HIGH->LOW tears down window and boosts",
+    "launch-mutex": "the coscheduling launch mutex is held at most one "
+                    "IPI fan-out window",
+    "lhp-provenance": "over-threshold spins trace to a descheduled "
+                      "VCPU (no phantom lock-holder preemption)",
+}
+
 
 class SanitizerViolation(SchedulerInvariantError):
     """A scheduler invariant was broken while the sanitizer watched."""

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 rendering for the whole-program lint report.
+
+One ``run`` per invocation: the tool driver advertises every active rule
+(per-file and interprocedural), each violation becomes a ``result`` with
+a physical location, the engine's content fingerprint rides in
+``partialFingerprints`` (so SARIF viewers dedupe across commits the same
+way the baseline does), and ``baselineState`` distinguishes ``new``
+findings from ``unchanged`` grandfathered ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import simlint
+from repro.analysis.engine import AnalysisReport, Project, _fingerprints
+from repro.analysis.simlint import Violation
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "simlint"
+TOOL_URI = "https://example.invalid/repro/docs/static_analysis.md"
+
+
+def _rule_descriptors(rule_ids: Sequence[str]) -> List[Dict[str, object]]:
+    from repro.analysis.rules_interproc import INTERPROC_RULES
+    merged = {**simlint.RULES, **INTERPROC_RULES}
+    out: List[Dict[str, object]] = []
+    for rid in sorted(rule_ids):
+        desc = merged.get(rid, rid)
+        out.append({
+            "id": rid,
+            "shortDescription": {"text": desc},
+            "defaultConfiguration": {"level": "error"},
+        })
+    return out
+
+
+def _artifact_uri(path: str, project: Optional[Project]) -> str:
+    if project is not None:
+        return project.rel_path(Path(path)).replace("\\", "/")
+    return str(path).replace("\\", "/")
+
+
+def _result(v: Violation, uri: str, fingerprint: str,
+            baseline_state: str) -> Dict[str, object]:
+    return {
+        "ruleId": v.rule,
+        "level": "error",
+        "message": {"text": v.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": uri},
+                "region": {"startLine": v.line, "startColumn": v.col},
+            },
+        }],
+        "partialFingerprints": {"simlintContent/v1": fingerprint},
+        "baselineState": baseline_state,
+    }
+
+
+def render_sarif(report: AnalysisReport,
+                 sources: Dict[str, List[str]],
+                 project: Optional[Project] = None) -> str:
+    """Serialize an :class:`AnalysisReport` as a SARIF 2.1.0 document."""
+    fps = _fingerprints(report.violations, sources)
+    new = set(map(id, report.new))
+    results = []
+    for v, fp in zip(report.violations, fps):
+        uri = _artifact_uri(v.path, project)
+        state = "new" if id(v) in new else "unchanged"
+        results.append(_result(v, uri, fp, state))
+    rule_ids = sorted({v.rule for v in report.violations}
+                      | set(simlint.RULES))
+    if report.interprocedural:
+        from repro.analysis.rules_interproc import INTERPROC_RULES
+        rule_ids = sorted(set(rule_ids) | set(INTERPROC_RULES))
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": _rule_descriptors(rule_ids),
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": results,
+            "properties": {
+                "filesChecked": report.files_checked,
+                "pragmasUsed": report.pragmas_used,
+                "waiversByRule": dict(sorted(
+                    report.waivers_by_rule.items())),
+                "grandfathered": len(report.grandfathered),
+                "staleBaselineEntries": len(report.stale_baseline),
+                "interprocedural": report.interprocedural,
+            },
+        }],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -71,7 +71,7 @@ import ast
 import io
 import json
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -82,6 +82,8 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_tree",
+    "parse_pragmas",
     "render_json",
     "render_text",
 ]
@@ -170,6 +172,9 @@ class LintReport:
     violations: List[Violation]
     files_checked: int
     pragmas_used: int
+    #: rule id -> number of pragma waivers that fired for it (the audit
+    #: trail behind ``--max-waivers``); keys are sorted on render.
+    waivers_by_rule: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -206,6 +211,64 @@ def _parse_pragmas(source: str) -> Dict[int, Optional[Set[str]]]:
     except tokenize.TokenError:
         return pragmas  # syntax errors surface through ast.parse instead
     return pragmas
+
+
+def parse_pragmas(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Public pragma table: line -> waived rule set (None = all rules).
+
+    Used by :mod:`repro.analysis.engine` to apply the same inline-waiver
+    semantics to interprocedural findings.
+    """
+    return _parse_pragmas(source)
+
+
+# --------------------------------------------------------------------- #
+# RNG import-alias tables (satellite of the random-module rule)
+# --------------------------------------------------------------------- #
+@dataclass
+class _RngAliases:
+    """Local names behind which RNG entry points can hide.
+
+    ``from random import random as _r`` and ``import numpy.random as
+    npr`` both defeat literal name matching; one pre-pass over the
+    import statements recovers the mapping so call checks work on
+    resolved origins.
+    """
+
+    #: aliases of the stdlib ``random`` module itself.
+    random_mods: Set[str] = field(default_factory=lambda: {"random"})
+    #: aliases of the ``numpy`` module.
+    np_mods: Set[str] = field(default_factory=lambda: {"np", "numpy"})
+    #: aliases of the ``numpy.random`` submodule.
+    np_random_mods: Set[str] = field(default_factory=set)
+    #: local name -> original ``random.<name>`` function.
+    random_funcs: Dict[str, str] = field(default_factory=dict)
+    #: local name -> original ``numpy.random.<name>`` function.
+    np_random_funcs: Dict[str, str] = field(default_factory=dict)
+
+
+def _collect_rng_aliases(tree: ast.Module) -> _RngAliases:
+    aliases = _RngAliases()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname
+                if alias.name == "random":
+                    aliases.random_mods.add(local or "random")
+                elif alias.name == "numpy":
+                    aliases.np_mods.add(local or "numpy")
+                elif alias.name == "numpy.random" and local:
+                    aliases.np_random_mods.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if node.module == "random":
+                    aliases.random_funcs[local] = alias.name
+                elif node.module == "numpy" and alias.name == "random":
+                    aliases.np_random_mods.add(local)
+                elif node.module == "numpy.random":
+                    aliases.np_random_funcs[local] = alias.name
+    return aliases
 
 
 # --------------------------------------------------------------------- #
@@ -344,11 +407,13 @@ def _defines_slots(node: ast.ClassDef) -> bool:
 # --------------------------------------------------------------------- #
 class _Checker(ast.NodeVisitor):
     def __init__(self, path: str, sim_scope: bool, hot_module: bool,
-                 rules: Set[str]) -> None:
+                 rules: Set[str],
+                 rng_aliases: Optional[_RngAliases] = None) -> None:
         self.path = path
         self.sim_scope = sim_scope
         self.hot_module = hot_module
         self.rules = rules
+        self.rng = rng_aliases or _RngAliases()
         self.found: List[Violation] = []
         #: Names bound to set expressions in the current function.
         self._set_names: List[Set[str]] = []
@@ -419,28 +484,59 @@ class _Checker(ast.NodeVisitor):
 
     def _check_random_call(self, node: ast.Call) -> None:
         fn = node.func
+        if isinstance(fn, ast.Name):
+            # Functions imported out of the RNG modules, possibly under
+            # an alias: ``from random import random as _r; _r()``.
+            orig = self.rng.random_funcs.get(fn.id)
+            if orig is not None:
+                self._emit(node, "random-module",
+                           f"{fn.id}() is stdlib random.{orig}: "
+                           f"process-global state; use a named "
+                           f"RngStreams stream")
+                return
+            orig = self.rng.np_random_funcs.get(fn.id)
+            if orig is not None:
+                if orig in _NUMPY_LEGACY_RNG:
+                    self._emit(node, "random-module",
+                               f"{fn.id}() is numpy.random.{orig}: legacy "
+                               f"global-state RNG; use a named RngStreams "
+                               f"stream")
+                elif orig == "default_rng" and not node.args \
+                        and not node.keywords:
+                    self._emit(node, "random-module",
+                               f"{fn.id}() is numpy.random.default_rng "
+                               f"without a seed: draws OS entropy; pass "
+                               f"an explicit seed")
+            return
         if not isinstance(fn, ast.Attribute):
             return
         base = fn.value
-        # random.<anything>()
-        if isinstance(base, ast.Name) and base.id == "random":
+        # random.<anything>() — including ``import random as rnd``.
+        if isinstance(base, ast.Name) and base.id in self.rng.random_mods:
             self._emit(node, "random-module",
-                       f"random.{fn.attr}(): stdlib RNG has process-global "
-                       f"state; use a named RngStreams stream")
+                       f"{base.id}.{fn.attr}(): stdlib RNG has "
+                       f"process-global state; use a named RngStreams "
+                       f"stream")
             return
-        # np.random.<legacy>() / numpy.random.<legacy>()
-        if isinstance(base, ast.Attribute) and base.attr == "random" \
-                and isinstance(base.value, ast.Name) \
-                and base.value.id in ("np", "numpy"):
+        # np.random.<legacy>() — also through ``import numpy.random as
+        # npr`` / ``from numpy import random as nr``.
+        np_random = (
+            isinstance(base, ast.Attribute) and base.attr == "random"
+            and isinstance(base.value, ast.Name)
+            and base.value.id in self.rng.np_mods
+        ) or (isinstance(base, ast.Name)
+              and base.id in self.rng.np_random_mods)
+        if np_random:
             if fn.attr in _NUMPY_LEGACY_RNG:
                 self._emit(node, "random-module",
-                           f"np.random.{fn.attr}(): legacy global-state "
-                           f"RNG; use a named RngStreams stream")
+                           f"numpy.random.{fn.attr}(): legacy "
+                           f"global-state RNG; use a named RngStreams "
+                           f"stream")
             elif fn.attr == "default_rng" and not node.args \
                     and not node.keywords:
                 self._emit(node, "random-module",
-                           "np.random.default_rng() without a seed draws "
-                           "OS entropy; pass an explicit seed")
+                           "numpy.random.default_rng() without a seed "
+                           "draws OS entropy; pass an explicit seed")
 
     def _check_cycle_args(self, node: ast.Call) -> None:
         fn = node.func
@@ -613,38 +709,66 @@ def _scope_of(path: Path, assume_sim: bool) -> Tuple[bool, bool]:
     return sim_scope, hot
 
 
+def lint_tree(tree: ast.Module, source: str, path: str = "<string>",
+              sim_scope: bool = False, hot_module: bool = False,
+              rules: Optional[Iterable[str]] = None
+              ) -> Tuple[List[Violation], int, Dict[str, int]]:
+    """Lint an already-parsed module.
+
+    Returns ``(violations, pragmas_used, waivers_by_rule)`` — the
+    engine reuses its own parse through this entry point, and the
+    per-rule waiver counts feed the ``--max-waivers`` audit.
+    """
+    active = set(rules) if rules is not None else set(RULES)
+    unknown = active - set(RULES)
+    if unknown:
+        raise ValueError(f"unknown simlint rule(s): {sorted(unknown)}")
+    checker = _Checker(path, sim_scope, hot_module, active,
+                       rng_aliases=_collect_rng_aliases(tree))
+    checker.visit(tree)
+    pragmas = _parse_pragmas(source)
+    kept: List[Violation] = []
+    used = 0
+    per_rule: Dict[str, int] = {}
+    for v in sorted(checker.found, key=lambda v: (v.line, v.col, v.rule)):
+        waived = pragmas.get(v.line)
+        if v.line in pragmas and (waived is None or v.rule in waived):
+            used += 1
+            per_rule[v.rule] = per_rule.get(v.rule, 0) + 1
+            continue
+        kept.append(v)
+    return kept, used, per_rule
+
+
 def lint_source(source: str, path: str = "<string>",
                 sim_scope: bool = False, hot_module: bool = False,
                 rules: Optional[Iterable[str]] = None
                 ) -> Tuple[List[Violation], int]:
     """Lint one source string.  Returns (violations, pragmas_used)."""
-    active = set(rules) if rules is not None else set(RULES)
-    unknown = active - set(RULES)
-    if unknown:
-        raise ValueError(f"unknown simlint rule(s): {sorted(unknown)}")
     tree = ast.parse(source, filename=path)
-    checker = _Checker(path, sim_scope, hot_module, active)
-    checker.visit(tree)
-    pragmas = _parse_pragmas(source)
-    kept: List[Violation] = []
-    used = 0
-    for v in sorted(checker.found, key=lambda v: (v.line, v.col, v.rule)):
-        waived = pragmas.get(v.line)
-        if v.line in pragmas and (waived is None or v.rule in waived):
-            used += 1
-            continue
-        kept.append(v)
+    kept, used, _ = lint_tree(tree, source, path=path,
+                              sim_scope=sim_scope, hot_module=hot_module,
+                              rules=rules)
     return kept, used
+
+
+def _lint_file_full(path: Path, assume_sim: bool = False,
+                    rules: Optional[Iterable[str]] = None
+                    ) -> Tuple[List[Violation], int, Dict[str, int]]:
+    sim_scope, hot = _scope_of(path, assume_sim)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return lint_tree(tree, source, path=str(path), sim_scope=sim_scope,
+                     hot_module=hot, rules=rules)
 
 
 def lint_file(path: Path, assume_sim: bool = False,
               rules: Optional[Iterable[str]] = None
               ) -> Tuple[List[Violation], int]:
     """Lint one file on disk."""
-    sim_scope, hot = _scope_of(path, assume_sim)
-    source = path.read_text(encoding="utf-8")
-    return lint_source(source, path=str(path), sim_scope=sim_scope,
-                       hot_module=hot, rules=rules)
+    found, used, _ = _lint_file_full(path, assume_sim=assume_sim,
+                                     rules=rules)
+    return found, used
 
 
 def lint_paths(paths: Sequence, assume_sim: bool = False,
@@ -659,12 +783,17 @@ def lint_paths(paths: Sequence, assume_sim: bool = False,
             files.append(p)
     violations: List[Violation] = []
     pragmas = 0
+    waivers: Dict[str, int] = {}
     for f in files:
-        found, used = lint_file(f, assume_sim=assume_sim, rules=rules)
+        found, used, per_rule = _lint_file_full(f, assume_sim=assume_sim,
+                                                rules=rules)
         violations.extend(found)
         pragmas += used
+        for rule, n in per_rule.items():
+            waivers[rule] = waivers.get(rule, 0) + n
     return LintReport(violations=violations, files_checked=len(files),
-                      pragmas_used=pragmas)
+                      pragmas_used=pragmas,
+                      waivers_by_rule=dict(sorted(waivers.items())))
 
 
 # --------------------------------------------------------------------- #
@@ -680,11 +809,16 @@ def render_text(report: LintReport) -> str:
 
 
 def render_json(report: LintReport) -> str:
-    """Machine-readable report: violations, file count, pragma count."""
+    """Machine-readable report: violations, file count, pragma counts.
+
+    ``waivers_by_rule`` is emitted with sorted keys so diffs of the
+    report are stable — the audit trail behind ``--max-waivers``.
+    """
     doc = {
         "violations": [v.to_dict() for v in report.violations],
         "files_checked": report.files_checked,
         "pragmas_used": report.pragmas_used,
+        "waivers_by_rule": dict(sorted(report.waivers_by_rule.items())),
         "ok": report.ok,
     }
-    return json.dumps(doc, indent=2)
+    return json.dumps(doc, indent=2, sort_keys=True)

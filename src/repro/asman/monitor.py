@@ -50,15 +50,20 @@ class MonitoringModule:
                  rng: Optional[np.random.Generator] = None,
                  refractory: int = DEFAULT_REFRACTORY,
                  faults: Optional["FaultInjector"] = None) -> None:
+        if rng is None:
+            # Every monitor must draw from the testbed's seed tree (a
+            # ``monitor/<vm>`` stream); a constant-seed fallback here
+            # would give all unwired monitors identical learner draws.
+            raise ValueError(
+                "MonitoringModule requires an explicit generator from a "
+                "named RngStreams stream (e.g. rng.get('monitor/<vm>'))")
         self.kernel = kernel
         self.vm = kernel.vm
         self.sim = kernel.sim
         self.hypercalls = hypercalls
         self.config = config or self.vm.config.monitor
         self.refractory = refractory
-        self.learner = RothErevLearner(
-            self.config.learning,
-            rng if rng is not None else np.random.default_rng(0))
+        self.learner = RothErevLearner(self.config.learning, rng)
         #: Optional fault injector (repro.faults): misreporting modes.
         #: None in the default path — a single attribute test per report.
         self._faults = faults

@@ -398,28 +398,145 @@ def cmd_conform(args) -> int:
     return 1
 
 
+def _lint_default_root():
+    import pathlib
+    src = pathlib.Path("src/repro")
+    if src.is_dir():
+        return src
+    import repro
+    return pathlib.Path(repro.__file__).parent
+
+
+def _lint_emit(text: str, output) -> None:
+    if output:
+        import pathlib
+        pathlib.Path(output).write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def _check_waiver_budget(pragmas_used: int, max_waivers) -> int:
+    if max_waivers is not None and pragmas_used > max_waivers:
+        print(f"lint: {pragmas_used} pragma waiver(s) exceed the "
+              f"--max-waivers budget of {max_waivers}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_lint_interproc(args, rules) -> int:
+    """The ``--interprocedural`` arm: whole-program analysis with the
+    SARIF/baseline workflow."""
+    import json as _json
+    import pathlib
+
+    from repro.analysis.engine import (analyze, load_baseline,
+                                       write_baseline)
+    from repro.analysis.sarif import render_sarif
+
+    if len(args.paths) > 1:
+        print("lint error: --interprocedural takes one package root",
+              file=sys.stderr)
+        return 2
+    root = pathlib.Path(args.paths[0]) if args.paths \
+        else _lint_default_root()
+    if not root.is_dir():
+        print(f"lint error: {root} is not a package directory",
+              file=sys.stderr)
+        return 2
+
+    baseline_path = pathlib.Path(args.baseline)
+    baseline_doc = None
+    if not args.no_baseline and not args.update_baseline \
+            and baseline_path.exists():
+        try:
+            baseline_doc = load_baseline(baseline_path)
+        except ValueError as exc:
+            print(f"lint error: {exc}", file=sys.stderr)
+            return 2
+
+    changed = [p for p in args.diff.split(",") if p.strip()] \
+        if args.diff is not None else None
+    try:
+        report, project, sources = analyze(
+            root, rules=rules, baseline=baseline_doc,
+            changed_files=changed, assume_sim=args.assume_sim)
+    except (ValueError, OSError, SyntaxError) as exc:
+        print(f"lint error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        out = write_baseline(report.violations, sources, baseline_path)
+        print(f"wrote {out} ({len(report.violations)} grandfathered "
+              f"finding(s))")
+        return 0
+
+    if args.format == "sarif":
+        _lint_emit(render_sarif(report, sources, project), args.output)
+    elif args.format == "json":
+        doc = {
+            "violations": [v.to_dict() for v in report.violations],
+            "new": len(report.new),
+            "grandfathered": len(report.grandfathered),
+            "stale_baseline": len(report.stale_baseline),
+            "files_checked": report.files_checked,
+            "pragmas_used": report.pragmas_used,
+            "waivers_by_rule": report.waivers_by_rule,
+            "interprocedural": True,
+            "ok": report.ok,
+        }
+        _lint_emit(_json.dumps(doc, indent=2, sort_keys=True),
+                   args.output)
+    else:
+        lines = [v.render() for v in report.new]
+        lines.append(
+            f"{len(report.violations)} finding(s) "
+            f"({len(report.new)} new, {len(report.grandfathered)} "
+            f"grandfathered) in {report.files_checked} file(s), "
+            f"{report.pragmas_used} pragma waiver(s)")
+        if report.stale_baseline and changed is None:
+            lines.append(
+                f"warning: {len(report.stale_baseline)} stale baseline "
+                f"entr(y/ies) no longer occur — prune {baseline_path}")
+        _lint_emit("\n".join(lines), args.output)
+
+    budget_rc = _check_waiver_budget(report.pragmas_used,
+                                     args.max_waivers)
+    return 1 if (report.new or budget_rc) else 0
+
+
 def cmd_lint(args) -> int:
     """``repro lint``: run simlint over the source tree (default) or the
-    given paths; exit 1 if violations are found."""
+    given paths; exit 1 if violations are found.
+
+    ``--interprocedural`` switches to the whole-program engine
+    (:mod:`repro.analysis.engine`) with the three cross-function rule
+    families, SARIF output and the ``analysis-baseline.json``
+    suppression workflow."""
     import pathlib
 
     from repro import analysis
 
     if args.list_rules:
-        width = max(len(r) for r in analysis.RULES)
-        for rule, desc in analysis.RULES.items():
+        from repro.analysis.rules_interproc import INTERPROC_RULES
+        merged = dict(analysis.RULES)
+        merged.update({f"{r} [interprocedural]": d
+                       for r, d in INTERPROC_RULES.items()})
+        width = max(len(r) for r in merged)
+        for rule, desc in merged.items():
             print(f"{rule:<{width}}  {desc}")
         return 0
     rules = args.rules.split(",") if args.rules else None
+    if args.format == "sarif" and not args.interprocedural:
+        print("lint error: --format sarif requires --interprocedural",
+              file=sys.stderr)
+        return 2
+    if args.interprocedural:
+        return _cmd_lint_interproc(args, rules)
     if args.paths:
         paths = [pathlib.Path(p) for p in args.paths]
     else:
-        src = pathlib.Path("src/repro")
-        if src.is_dir():
-            paths = [src]
-        else:
-            import repro
-            paths = [pathlib.Path(repro.__file__).parent]
+        paths = [_lint_default_root()]
     try:
         report = analysis.lint_paths(paths, assume_sim=args.assume_sim,
                                      rules=rules)
@@ -427,10 +544,12 @@ def cmd_lint(args) -> int:
         print(f"lint error: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
-        print(analysis.render_json(report))
+        _lint_emit(analysis.render_json(report), args.output)
     else:
-        print(analysis.render_text(report))
-    return 0 if report.ok else 1
+        _lint_emit(analysis.render_text(report), args.output)
+    budget_rc = _check_waiver_budget(report.pragmas_used,
+                                     args.max_waivers)
+    return 1 if (not report.ok or budget_rc) else 0
 
 
 def cmd_perf(args) -> int:
@@ -649,8 +768,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     lp = sub.add_parser("lint", help="simlint static checker")
     lp.add_argument("paths", nargs="*",
-                    help="files/directories to lint (default: src/repro)")
-    lp.add_argument("--format", choices=("text", "json"), default="text")
+                    help="files/directories to lint (default: src/repro; "
+                         "with --interprocedural: one package root)")
+    lp.add_argument("--format", choices=("text", "json", "sarif"),
+                    default="text",
+                    help="output format (sarif requires "
+                         "--interprocedural)")
     lp.add_argument("--rules", metavar="NAMES",
                     help="comma-separated rule subset (see --list-rules)")
     lp.add_argument("--list-rules", action="store_true",
@@ -658,6 +781,27 @@ def build_parser() -> argparse.ArgumentParser:
     lp.add_argument("--assume-sim", action="store_true",
                     help="apply simulation-scoped rules to every file "
                          "regardless of its package path")
+    lp.add_argument("--interprocedural", action="store_true",
+                    help="whole-program analysis: call graph + taint "
+                         "rule families over one package root")
+    lp.add_argument("--baseline", metavar="PATH",
+                    default="analysis-baseline.json",
+                    help="suppression baseline for --interprocedural "
+                         "(default: analysis-baseline.json; new findings "
+                         "fail, grandfathered ones are counted)")
+    lp.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline: every finding is 'new'")
+    lp.add_argument("--update-baseline", action="store_true",
+                    help="write the current findings as the new baseline "
+                         "and exit 0")
+    lp.add_argument("--diff", metavar="FILES",
+                    help="comma-separated changed files: index the whole "
+                         "project but report findings only in these")
+    lp.add_argument("--max-waivers", type=int, metavar="N", default=None,
+                    help="fail if more than N pragma waivers fire "
+                         "(keeps the waiver pile shrinking)")
+    lp.add_argument("--output", metavar="PATH",
+                    help="write the report to PATH instead of stdout")
     lp.set_defaults(func=cmd_lint)
     return p
 

@@ -1,0 +1,18 @@
+"""Clean cross-subsystem wiring: the monitor stream stays in asman."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+class Monitor:
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def decide(self) -> int:
+        return int(self.rng.integers(0, 4))
+
+
+def wire(streams: RngStreams) -> Monitor:
+    """'monitor/...' drawn inside repro.asman: exactly where it belongs."""
+    return Monitor(streams.get("monitor/v1"))

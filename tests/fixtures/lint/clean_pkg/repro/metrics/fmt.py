@@ -1,0 +1,5 @@
+"""Benign host-side helper: deterministic, no clocks, no entropy."""
+
+
+def fmt_cycles(cycles: int) -> str:
+    return f"{cycles} cy"

@@ -1,0 +1,59 @@
+"""Clean sim-scope module: every idiom here must produce ZERO findings.
+
+Each function is a near-miss for one interprocedural rule — the legal
+twin of a seeded violation in the sibling fixture packages.  A false
+positive on any of them is a bug in the analysis, not in this file.
+"""
+
+import numpy as np
+
+from repro.metrics.fmt import fmt_cycles
+from repro.sim.rng import RngStreams
+from repro.units import ms, to_ms
+
+
+class Scheduler:
+    """Draws only from the constructor-provided stream generator."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def pick(self, n: int) -> int:
+        return int(self.rng.integers(0, n))
+
+
+def arm_timer(sim, cycles: int) -> None:
+    """Integer cycles straight into the sink: fine."""
+    sim.after(cycles, None)
+
+
+def arm_in_ms(sim, wall_ms: int) -> None:
+    """Wall units converted at the visible repro.units boundary: fine."""
+    sim.after(ms(wall_ms), None)
+
+
+def arm_scaled(sim, base: int, factor: float) -> None:
+    """Float scaled then explicitly integerized before the sink: fine."""
+    sim.after(int(base * factor), None)
+
+
+def report_ms(cycles: int) -> float:
+    """ms flows *out* toward reporting, never back into a sink: fine."""
+    return to_ms(cycles)
+
+
+def derived_thread_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Stream-derived seeding: provenance is preserved, not ad-hoc."""
+    return np.random.default_rng(rng.integers(0, 2**63))
+
+
+def describe(cycles: int) -> str:
+    """Calls into metrics, which reaches no wall-clock/entropy API."""
+    return fmt_cycles(cycles)
+
+
+def wire(streams: RngStreams, sim) -> Scheduler:
+    """An unrouted stream prefix carries no subsystem contract."""
+    sched = Scheduler(streams.get("sched/v1"))
+    arm_in_ms(sim, 5)
+    return sched

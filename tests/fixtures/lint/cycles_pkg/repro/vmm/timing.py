@@ -1,0 +1,39 @@
+"""Seeded cycle-unit-flow violations: ms/float values crossing into
+cycle-denominated sinks without a visible conversion."""
+
+from repro.units import to_ms
+
+
+def arm(sim, delay: int) -> None:
+    """Innocent wrapper — the leak is decided at its call sites."""
+    sim.after(delay, None)
+
+
+def jitter_scale() -> float:
+    return 1.5
+
+
+def schedule_report(sim, cycles: int) -> None:
+    window = to_ms(cycles)
+    # VIOLATION[cycle-unit-flow]: a millisecond-typed value straight
+    # into a cycle-denominated sink.
+    sim.after(window, None)
+
+
+def schedule_indirect(sim, cycles: int) -> None:
+    # VIOLATION[cycle-unit-flow]: the ms value reaches sim.after inside
+    # arm() — invisible to any per-file check.
+    arm(sim, to_ms(cycles))
+
+
+def build_op(units_count: int):
+    # VIOLATION[cycle-unit-flow]: a float returned from a call feeds
+    # Compute's cycle argument.
+    return Compute(units_count * jitter_scale())
+
+
+class Compute:
+    """Stand-in cycle-denominated op (first argument is cycles)."""
+
+    def __init__(self, cycles: int) -> None:
+        self.cycles = cycles

@@ -1,0 +1,16 @@
+"""Seeded rng-provenance violation: ad-hoc constant-seeded generator."""
+
+from typing import Optional
+
+import numpy as np
+
+
+class Monitor:
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        # VIOLATION[rng-provenance]: the fallback generator's seed does
+        # not derive from RngStreams — every unwired monitor would share
+        # one constant draw sequence.
+        self.rng = rng if rng is not None else np.random.default_rng(7)
+
+    def decide(self) -> int:
+        return int(self.rng.integers(0, 4))

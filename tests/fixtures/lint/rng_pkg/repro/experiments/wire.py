@@ -1,0 +1,11 @@
+"""Seeded rng-provenance violation: cross-call stream contamination."""
+
+from repro.faults.inj import Injector
+from repro.sim.rng import RngStreams
+
+
+def build(streams: RngStreams) -> Injector:
+    # VIOLATION[rng-provenance]: a 'monitor/...' stream handed to the
+    # faults subsystem, which draws from it in repro.faults.inj — two
+    # subsystems sharing one stream object.
+    return Injector(streams.get("monitor/vm0"))

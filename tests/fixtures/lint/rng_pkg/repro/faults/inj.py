@@ -1,0 +1,24 @@
+"""Seeded rng-provenance violation: direct stream contamination."""
+
+import numpy as np
+
+from repro.sim.rng import RngStreams
+
+
+def jitter(streams: RngStreams) -> int:
+    # VIOLATION[rng-provenance]: a 'workload/...' stream drawn inside
+    # repro.faults — the fault engine would perturb the workload's draw
+    # sequence (and vice versa).
+    gen = streams.get("workload/vm0")
+    return int(gen.integers(0, 10))
+
+
+class Injector:
+    """Draws on whatever generator it is handed (clean in isolation —
+    the contamination is decided at the wiring site)."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def flip(self) -> bool:
+        return bool(self.rng.random() < 0.5)

@@ -1,0 +1,17 @@
+"""Host-side helpers — legal in metrics scope, poison for sim callers."""
+
+import os
+import time
+import uuid
+
+
+def hostclock() -> float:
+    return time.time()
+
+
+def host_tag() -> str:
+    return str(uuid.uuid4())
+
+
+def host_env(name: str) -> str:
+    return os.environ.get(name, "")

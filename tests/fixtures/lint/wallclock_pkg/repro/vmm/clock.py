@@ -1,0 +1,22 @@
+"""Seeded transitive-wall-clock violations: sim-scope functions whose
+call graphs reach wall-clock/entropy/env APIs through helpers."""
+
+from repro.metrics.host import host_env, host_tag, hostclock
+
+
+def stamp() -> float:
+    # VIOLATION[transitive-wall-clock]: reaches time.time() via
+    # repro.metrics.host.hostclock.
+    return hostclock()
+
+
+def label() -> str:
+    # VIOLATION[transitive-wall-clock]: reaches uuid.uuid4() via
+    # repro.metrics.host.host_tag.
+    return "vm-" + host_tag()
+
+
+def tuned() -> str:
+    # VIOLATION[transitive-wall-clock]: reaches os.environ.get() via
+    # repro.metrics.host.host_env.
+    return host_env("TUNE")

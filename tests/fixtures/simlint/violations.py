@@ -52,3 +52,18 @@ def swallows():
 def waived(sim):
     # The pragma escape hatch: this one must NOT be reported.
     sim.after(2.5, lambda: None)  # simlint: ignore[float-into-cycles]
+
+
+# Aliased RNG imports: renaming the module or the function must not
+# defeat the random-module rule.  (Imports live down here so the line
+# numbers of the cases above stay put.)
+import random as rnd
+import numpy.random as npr
+from random import random as _r
+
+
+def aliased_random_leaks():
+    a = rnd.gauss(0.0, 1.0)
+    b = npr.random()
+    c = _r()
+    return a + b + c

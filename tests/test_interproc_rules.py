@@ -1,0 +1,221 @@
+"""The three interprocedural rule families against the seeded fixture
+packages: every planted violation is found, the clean package produces
+zero findings, the SARIF output matches a golden snapshot, and the CLI
+wires baseline/diff/exit codes correctly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import Project, analyze, stable_rel_path
+from repro.analysis.rules_interproc import (INTERPROC_RULES, STREAM_ROUTES,
+                                            run_interproc_rules)
+from repro.analysis.sarif import (SARIF_SCHEMA_URI, SARIF_VERSION,
+                                  render_sarif)
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+CLEAN = FIXTURES / "clean_pkg" / "repro"
+RNG = FIXTURES / "rng_pkg" / "repro"
+CYCLES = FIXTURES / "cycles_pkg" / "repro"
+WALLCLOCK = FIXTURES / "wallclock_pkg" / "repro"
+GOLDEN_SARIF = FIXTURES / "cycles_pkg.sarif.json"
+
+
+def findings_in(root):
+    """(relpath, line, rule) triples from the interprocedural rules."""
+    project = Project.load(root)
+    found = run_interproc_rules(project)
+    return sorted((stable_rel_path(v.path), v.line, v.rule) for v in found)
+
+
+# --------------------------------------------------------------------- #
+# Rule families against the seeded packages
+# --------------------------------------------------------------------- #
+class TestSeededFindings:
+    def test_clean_package_has_zero_findings(self):
+        assert findings_in(CLEAN) == []
+
+    def test_rng_provenance_catches_all_three(self):
+        assert findings_in(RNG) == [
+            ("repro/asman/mon.py", 13, "rng-provenance"),
+            ("repro/experiments/wire.py", 11, "rng-provenance"),
+            ("repro/faults/inj.py", 13, "rng-provenance"),
+        ]
+
+    def test_cycle_unit_flow_catches_all_three(self):
+        assert findings_in(CYCLES) == [
+            ("repro/vmm/timing.py", 20, "cycle-unit-flow"),
+            ("repro/vmm/timing.py", 26, "cycle-unit-flow"),
+            ("repro/vmm/timing.py", 32, "cycle-unit-flow"),
+        ]
+
+    def test_transitive_wall_clock_catches_all_three(self):
+        assert findings_in(WALLCLOCK) == [
+            ("repro/vmm/clock.py", 10, "transitive-wall-clock"),
+            ("repro/vmm/clock.py", 16, "transitive-wall-clock"),
+            ("repro/vmm/clock.py", 22, "transitive-wall-clock"),
+        ]
+
+    def test_cross_call_contamination_names_the_sink(self):
+        project = Project.load(RNG)
+        by_file = {stable_rel_path(v.path): v
+                   for v in run_interproc_rules(project)}
+        wire = by_file["repro/experiments/wire.py"]
+        assert "monitor" in wire.message
+        assert "repro.faults.inj.Injector.__init__" in wire.message
+
+    def test_indirect_ms_flow_names_the_wrapper(self):
+        project = Project.load(CYCLES)
+        msgs = [v.message for v in run_interproc_rules(project)
+                if v.line == 26]
+        assert len(msgs) == 1 and "arm" in msgs[0]
+
+    def test_wall_clock_chain_names_the_helper(self):
+        project = Project.load(WALLCLOCK)
+        msgs = [v.message for v in run_interproc_rules(project)
+                if v.line == 10]
+        assert len(msgs) == 1
+        assert "time.time" in msgs[0]
+        assert "repro.metrics.host.hostclock" in msgs[0]
+
+    def test_rule_subset_restricts_families(self):
+        project = Project.load(RNG)
+        found = run_interproc_rules(project, rules=["cycle-unit-flow"])
+        assert found == []
+
+    def test_stream_routes_cover_the_documented_prefixes(self):
+        assert {"workload", "monitor", "learner", "faults",
+                "conformance"} == set(STREAM_ROUTES)
+
+    def test_rule_registry_is_three_families(self):
+        assert set(INTERPROC_RULES) == {
+            "rng-provenance", "cycle-unit-flow", "transitive-wall-clock"}
+
+
+# --------------------------------------------------------------------- #
+# The real source tree
+# --------------------------------------------------------------------- #
+class TestSrcRepro:
+    def test_src_repro_is_interprocedurally_clean(self):
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        report, _, _ = analyze(src)
+        assert [v.render() for v in report.violations] == []
+
+    def test_monitoring_module_requires_explicit_stream_rng(self):
+        # Regression for the true positive the analysis found: the
+        # monitor defaulted to an ad-hoc default_rng(0) generator
+        # outside the seed-tree when constructed without an rng.
+        from repro.asman.monitor import MonitoringModule
+        with pytest.raises(ValueError, match="named RngStreams stream"):
+            # The guard fires before the kernel is touched, so stand-ins
+            # are enough to pin the contract.
+            MonitoringModule(kernel=object(), hypercalls=object())
+
+
+# --------------------------------------------------------------------- #
+# SARIF output
+# --------------------------------------------------------------------- #
+class TestSarif:
+    def test_golden_snapshot(self):
+        report, project, sources = analyze(CYCLES)
+        rendered = render_sarif(report, sources, project) + "\n"
+        assert rendered == GOLDEN_SARIF.read_text(encoding="utf-8")
+
+    def test_document_structure(self):
+        report, project, sources = analyze(RNG)
+        doc = json.loads(render_sarif(report, sources, project))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        (run,) = doc["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(INTERPROC_RULES) <= rule_ids
+        assert len(run["results"]) == 3
+        for res in run["results"]:
+            assert res["level"] == "error"
+            assert res["baselineState"] == "new"
+            assert res["partialFingerprints"]["simlintContent/v1"]
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"].startswith("repro/")
+            assert loc["region"]["startLine"] > 0
+
+    def test_grandfathered_results_marked_unchanged(self, tmp_path):
+        from repro.analysis.engine import load_baseline, write_baseline
+        report, project, sources = analyze(RNG)
+        base = tmp_path / "b.json"
+        write_baseline(report.violations, sources, base)
+        report2, project2, sources2 = analyze(
+            RNG, baseline=load_baseline(base))
+        doc = json.loads(render_sarif(report2, sources2, project2))
+        states = {r["baselineState"] for r in doc["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+
+# --------------------------------------------------------------------- #
+# CLI workflow
+# --------------------------------------------------------------------- #
+class TestCliInterproc:
+    def test_sarif_requires_interprocedural(self, capsys):
+        assert cli_main(["lint", "--format", "sarif", str(CLEAN)]) == 2
+        assert "--interprocedural" in capsys.readouterr().err
+
+    def test_clean_package_exits_zero(self, capsys):
+        assert cli_main(["lint", "--interprocedural", "--no-baseline",
+                         str(CLEAN)]) == 0
+        assert "0 new" in capsys.readouterr().out
+
+    def test_seeded_package_fails_without_baseline(self, capsys):
+        assert cli_main(["lint", "--interprocedural", "--no-baseline",
+                         str(RNG)]) == 1
+        out = capsys.readouterr().out
+        assert "rng-provenance" in out and "3 new" in out
+
+    def test_update_then_gate_round_trip(self, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        assert cli_main(["lint", "--interprocedural", "--update-baseline",
+                         "--baseline", str(base), str(RNG)]) == 0
+        assert base.exists()
+        # Same findings again: grandfathered, gate passes.
+        assert cli_main(["lint", "--interprocedural",
+                         "--baseline", str(base), str(RNG)]) == 0
+        out = capsys.readouterr().out
+        assert "3 grandfathered" in out and "0 new" in out
+
+    def test_diff_mode_reports_only_changed_files(self, capsys):
+        target = RNG / "faults" / "inj.py"
+        assert cli_main(["lint", "--interprocedural", "--no-baseline",
+                         "--diff", str(target), str(RNG)]) == 1
+        out = capsys.readouterr().out
+        assert "inj.py" in out and "wire.py" not in out
+
+    def test_sarif_output_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "lint.sarif"
+        code = cli_main(["lint", "--interprocedural", "--no-baseline",
+                         "--format", "sarif", "--output", str(out_path),
+                         str(CYCLES)])
+        assert code == 1
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert doc["version"] == "2.1.0"
+
+    def test_multiple_roots_rejected(self, capsys):
+        assert cli_main(["lint", "--interprocedural",
+                         str(CLEAN), str(RNG)]) == 2
+
+    def test_list_rules_includes_interprocedural(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rid in INTERPROC_RULES:
+            assert rid in out
+        assert "[interprocedural]" in out
+
+    def test_checked_in_baseline_is_current(self, capsys):
+        # The shipped gate: src/repro against analysis-baseline.json
+        # must pass and must not carry stale suppressions.
+        repo = Path(__file__).resolve().parent.parent
+        src = repo / "src" / "repro"
+        base = repo / "analysis-baseline.json"
+        assert cli_main(["lint", "--interprocedural",
+                         "--baseline", str(base), str(src)]) == 0
+        assert "warning" not in capsys.readouterr().out

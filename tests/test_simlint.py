@@ -1,6 +1,7 @@
 """simlint: every rule fires on a minimal positive case, stays quiet on
 the idiomatic negative case, and honours the pragma escape hatch."""
 
+import ast
 import json
 from pathlib import Path
 
@@ -51,6 +52,42 @@ class TestRandomModule:
 
     def test_seeded_default_rng_ok(self):
         assert rules_in("g = np.random.default_rng(42)\n") == set()
+
+    # -- aliased imports must not defeat detection ---------------------- #
+    def test_stdlib_module_alias(self):
+        src = "import random as rnd\nx = rnd.gauss(0, 1)\n"
+        found, _ = simlint.lint_source(src, sim_scope=True)
+        # both the import and the aliased call are caught
+        assert [v.rule for v in found] == ["random-module", "random-module"]
+        assert "rnd.gauss()" in found[1].message
+
+    def test_stdlib_function_alias(self):
+        src = "from random import random as _r\nx = _r()\n"
+        found, _ = simlint.lint_source(src, sim_scope=True)
+        assert [v.rule for v in found] == ["random-module", "random-module"]
+        assert "random.random" in found[1].message
+
+    def test_numpy_submodule_alias(self):
+        src = "import numpy.random as npr\nx = npr.randint(3)\n"
+        found, _ = simlint.lint_source(src, sim_scope=True)
+        assert [v.rule for v in found] == ["random-module"]
+        assert "numpy.random.randint()" in found[0].message
+
+    def test_from_numpy_import_random(self):
+        src = "from numpy import random as nr\ng = nr.default_rng()\n"
+        assert "random-module" in rules_in(src)
+
+    def test_aliased_unseeded_default_rng(self):
+        src = "from numpy.random import default_rng\ng = default_rng()\n"
+        assert "random-module" in rules_in(src)
+
+    def test_aliased_seeded_default_rng_ok(self):
+        src = "from numpy.random import default_rng\ng = default_rng(42)\n"
+        assert rules_in(src) == set()
+
+    def test_numpy_module_alias_legacy_global(self):
+        src = "import numpy as xp\nx = xp.random.rand(3)\n"
+        assert "random-module" in rules_in(src)
 
 
 class TestNondetIter:
@@ -212,6 +249,26 @@ class TestPragmas:
         found, _ = simlint.lint_source(src, sim_scope=True)
         assert {v.rule for v in found} == {"wall-clock"}
 
+    def test_waivers_counted_per_rule(self):
+        src = ("import time  # simlint: ignore\n"
+               "sim.after(1.5, fn)  # simlint: ignore[float-into-cycles]\n"
+               "sim.after(2.5, fn)  # simlint: ignore[float-into-cycles]\n")
+        tree = ast.parse(src)
+        found, used, per_rule = simlint.lint_tree(
+            tree, src, path="<w>", sim_scope=True, hot_module=False,
+            rules=None)
+        assert found == [] and used == 3
+        assert per_rule == {"wall-clock": 1, "float-into-cycles": 2}
+
+    def test_report_aggregates_waivers_by_rule(self):
+        report = simlint.lint_paths([FIXTURE], assume_sim=True)
+        assert report.waivers_by_rule == {"float-into-cycles": 1}
+
+    def test_json_render_includes_waivers_by_rule(self):
+        report = simlint.lint_paths([FIXTURE], assume_sim=True)
+        doc = json.loads(simlint.render_json(report))
+        assert doc["waivers_by_rule"] == {"float-into-cycles": 1}
+
 
 # --------------------------------------------------------------------- #
 # Scoping, drivers, reporters
@@ -301,3 +358,26 @@ class TestCli:
         assert code == 1
         out = capsys.readouterr().out
         assert "wall-clock" in out and "mutable-default" not in out
+
+    def test_max_waivers_within_budget(self, tmp_path, capsys):
+        f = tmp_path / "waived.py"
+        f.write_text("import time  # simlint: ignore\n", encoding="utf-8")
+        assert cli_main(["lint", "--assume-sim", "--max-waivers", "1",
+                         str(f)]) == 0
+
+    def test_max_waivers_exceeded_fails(self, tmp_path, capsys):
+        f = tmp_path / "waived.py"
+        f.write_text("import time  # simlint: ignore\n", encoding="utf-8")
+        assert cli_main(["lint", "--assume-sim", "--max-waivers", "0",
+                         str(f)]) == 1
+        err = capsys.readouterr().err
+        assert "exceed the --max-waivers budget" in err
+
+    def test_output_writes_report_file(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code = cli_main(["lint", "--assume-sim", "--format", "json",
+                         "--output", str(out_path), str(FIXTURE)])
+        assert code == 1
+        doc = json.loads(out_path.read_text(encoding="utf-8"))
+        assert doc["ok"] is False
+        assert "wrote" in capsys.readouterr().out
