@@ -132,6 +132,17 @@ INVARIANT_PARITY: Tuple[Invariant, ...] = (
         runtime_checks=("lhp-provenance",),
         asymmetry="causal property of a run; runtime-only",
     ),
+    Invariant(
+        name="ff-quiescence-noop",
+        description="every scheduling pass skipped by the quiescent-tick "
+                    "fast-forward would have been a strict no-op",
+        runtime_checks=("ff-quiescence",),
+        asymmetry="quiescence is a dynamic state property (idle PCPU, "
+                  "all queued VCPUs parked) no static rule can decide; "
+                  "the sanitizer replays the skipped pass step-wise and "
+                  "compares state signatures, and the ff-off fingerprint "
+                  "gate covers unsanitized runs",
+    ),
 )
 
 

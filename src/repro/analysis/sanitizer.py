@@ -80,6 +80,8 @@ RUNTIME_CHECKS: Dict[str, str] = {
                     "IPI fan-out window",
     "lhp-provenance": "over-threshold spins trace to a descheduled "
                       "VCPU (no phantom lock-holder preemption)",
+    "ff-quiescence": "fast-forwarded quiescent ticks replay their "
+                     "scheduling pass step-wise and find it a no-op",
 }
 
 
@@ -101,7 +103,8 @@ class SchedulerSanitizer:
 
     __slots__ = (
         "scheduler", "strict", "violations", "schedules_checked",
-        "assigns_checked", "spin_waits_checked", "_credit_watermark",
+        "assigns_checked", "spin_waits_checked", "ff_ticks_checked",
+        "_credit_watermark",
     )
 
     def __init__(self, scheduler: "SchedulerBase",
@@ -114,6 +117,7 @@ class SchedulerSanitizer:
         self.schedules_checked = 0
         self.assigns_checked = 0
         self.spin_waits_checked = 0
+        self.ff_ticks_checked = 0
         #: Highest legitimate total credit since the last injection point
         #: (assignment / VM add or remove).  Between injection points the
         #: total may only fall.
@@ -164,6 +168,47 @@ class SchedulerSanitizer:
         """A legitimate out-of-band credit change (VM added/removed):
         re-baseline the conservation watermark."""
         self._credit_watermark = self._total_credit()
+
+    def check_ff_quiescence(self, pcpu: "PCPU") -> None:
+        """The quiescent-tick fast-forward claims the scheduling pass on
+        ``pcpu`` would be a strict no-op.  Don't trust it: replay the
+        pass step-wise (``_schedule`` for real) and assert the scheduler
+        state signature is untouched.  With the sanitizer attached,
+        fast-forward therefore *skips nothing* — every claimed-quiescent
+        tick is executed and cross-checked, which is what keeps the
+        optimisation honest under ``--sanitize`` runs.
+
+        Replaying a genuine no-op cannot change the run's fingerprint;
+        if the replay does mutate state, the claim was wrong and this
+        check fails (in non-strict mode the run is already divergent at
+        that point — the violation record is the authoritative outcome).
+        """
+        self.ff_ticks_checked += 1
+        before = self._quiescence_signature()
+        self.scheduler._schedule(pcpu)
+        after = self._quiescence_signature()
+        if before != after:
+            self._fail(
+                f"ff quiescence: tick on PCPU {pcpu.id} was fast-forwarded "
+                f"as a provable no-op, but the step-wise replay changed "
+                f"scheduler state (before={before!r}, after={after!r})")
+
+    def _quiescence_signature(self) -> tuple:
+        """Everything a scheduling pass could observably change: PCPU
+        occupancy, runq contents/order, the queue counter, the context
+        switch counter, and the side-effect counters of the stateful
+        policies (skew stops, coscheduling launches, relocations)."""
+        sched = self.scheduler
+        return (
+            sched.context_switches,
+            sched._queued,
+            tuple(id(p.current) for p in sched.machine),
+            tuple(tuple(id(v) for v in sched.runqs[p.id])
+                  for p in sched.machine),
+            getattr(sched, "skew_stops", 0),
+            getattr(sched, "cosched_launches", 0),
+            getattr(sched, "relocations", 0),
+        )
 
     def note_spin_wait(self, vm: "VM", lock: "SpinLock", wait: int) -> None:
         """LHP provenance check for one completed spinlock acquisition."""
@@ -297,6 +342,7 @@ class SchedulerSanitizer:
             "schedules_checked": self.schedules_checked,
             "assigns_checked": self.assigns_checked,
             "spin_waits_checked": self.spin_waits_checked,
+            "ff_ticks_checked": self.ff_ticks_checked,
             "violations": len(self.violations),
         }
 

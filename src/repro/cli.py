@@ -570,6 +570,14 @@ def cmd_perf(args) -> int:
         return 0
     names = args.only.split(",") if args.only else None
     mode = "quick" if args.quick else "full"
+    config = perf.run_config()
+    print("run config: " + ", ".join(f"{k}={'on' if v else 'off'}"
+                                     for k, v in config.items()))
+    profiler = None
+    if args.profile:
+        import cProfile
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         results = perf.run_benchmarks(
             names, quick=args.quick,
@@ -577,11 +585,41 @@ def cmd_perf(args) -> int:
     except ConfigurationError as exc:
         raise SystemExit(str(exc))
     out_dir = pathlib.Path(args.out)
+    if profiler is not None:
+        import pstats
+
+        profiler.disable()
+        out_dir.mkdir(parents=True, exist_ok=True)
+        pstats_path = out_dir / "profile.pstats"
+        profiler.dump_stats(pstats_path)
+        print(f"\nprofile (top 20 by cumulative time) -> {pstats_path}")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
     for r in results:
         path = perf.write_result(r, out_dir)
         print(f"  {r.name}: {r.events_per_s:,.0f} events/s "
               f"({r.events} events in {r.wall_s:.3f}s, "
               f"peak heap {r.peak_heap_entries}) -> {path}")
+    if args.trajectory:
+        import json
+
+        base_path = pathlib.Path(args.check or "benchmarks/perf_baseline.json")
+        before = perf.load_baseline(base_path).get("benches", {})
+        traj = {}
+        for r in results:
+            b = before.get(r.name, {})
+            prev = float(b.get("events_per_s", 0.0))
+            traj[r.name] = {
+                "before_events_per_s": round(prev, 1),
+                "after_events_per_s": round(r.events_per_s, 1),
+                "speedup": round(r.events_per_s / prev, 3) if prev else None,
+            }
+        doc = {"meta": {"mode": mode, "config": config,
+                        "baseline": str(base_path)},
+               "benches": traj}
+        traj_path = pathlib.Path(args.trajectory)
+        traj_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote perf trajectory {traj_path}")
     status = 0
     if args.update_baseline or args.check:
         calibration = perf.calibrate()
@@ -729,6 +767,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="allowed events/sec drop fraction (default 0.30)")
     pp.add_argument("--update-baseline", metavar="PATH",
                     help="write this run as the new baseline")
+    pp.add_argument("--profile", action="store_true",
+                    help="cProfile the run: print the top-20 cumulative "
+                         "hotspots and dump profile.pstats under --out")
+    pp.add_argument("--trajectory", metavar="PATH",
+                    help="write a before/after/speedup record per bench "
+                         "vs the --check baseline (default: the "
+                         "committed benchmarks/perf_baseline.json)")
     pp.add_argument("--list", action="store_true",
                     help="list benchmark names and exit")
     pp.set_defaults(func=cmd_perf)

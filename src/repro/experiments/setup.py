@@ -25,6 +25,7 @@ from repro.hardware.machine import Machine
 from repro.metrics.runtime import RuntimeCollector
 from repro.metrics.spinlock_stats import SpinlockStats
 from repro.sim.engine import Simulator
+from repro.sim.fastforward import fastforward_enabled
 from repro.sim.rng import RngStreams
 from repro.sim.tracing import TraceBus
 from repro.vmm.adaptive import AdaptiveScheduler
@@ -137,6 +138,15 @@ class Testbed:
         self._spin_stats: Dict[str, SpinlockStats] = {}
         self._vm_counter = 0
         self._started = False
+        #: Quiescence fast-forward, sampled at construction like the
+        #: kernels/schedulers do; selects the push-driven completion
+        #: driver in :meth:`run_until_workloads_done`.
+        self._ff = fastforward_enabled()
+        #: Generation token retiring stale completion callbacks: each
+        #: drive call bumps it, so a callback registered by an earlier
+        #: call (possibly for a different VM subset) can never stop a
+        #: later run.
+        self._drive_gen = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -247,6 +257,34 @@ class Testbed:
         self.start()
         names = vm_names if vm_names is not None else list(self.workloads)
         guests = [self.guests[n] for n in names]
+        if self._ff:
+            # Push-driven completion: each pending guest reports once
+            # via on_all_done and the last one stops the loop — same
+            # stop event, timestamp and event count as the predicate
+            # poll below (the callback fires inside the finishing
+            # event; stop() only flags the loop), without a per-event
+            # predicate call.
+            pending = [g for g in guests if not g.finished]
+            if not pending:
+                return True
+            self._drive_gen += 1
+            gen = self._drive_gen
+            remaining = [len(pending)]
+
+            def one_done() -> None:
+                if gen != self._drive_gen:
+                    return  # registered by a superseded drive call
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    self.sim.stop()
+
+            for g in pending:
+                g.on_all_done(one_done)
+            stopped = self.sim.run_until_stopped(deadline=deadline_cycles)
+            self._drive_gen += 1  # retire this call's callbacks
+            if stopped:
+                return True
+            return all(g.finished for g in guests)
         if len(guests) == 1:
             # The predicate runs once per simulated event; skip the
             # generator machinery for the common single-VM experiments.

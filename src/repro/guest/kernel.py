@@ -31,6 +31,8 @@ primitives stay simple, independently testable state machines.
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
+from heapq import heappush
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.config import GuestConfig
@@ -43,10 +45,17 @@ from repro.guest.ops import (BarrierOp, Compute, Critical, FlagSet, FlagWait,
                              Op, Program, SemDown, SemUp, Sleep)
 from repro.guest.semaphore import Semaphore
 from repro.guest.spinlock import SpinLock
-from repro.guest.task import CONTINUE, WAIT, Activity, Task, TaskState
-from repro.sim.engine import Simulator
+from repro.guest.task import (CONTINUE, WAIT, Activity, MicroStep, Task,
+                              TaskState)
+from repro.sim.engine import Event, Simulator
+from repro.sim.fastforward import fastforward_enabled
 from repro.sim.tracing import TraceBus
 from repro.vmm.vm import VCPU, VM
+
+#: Cap on the constant-hold micro-step cache: holds are config constants
+#: (critical sections, futex buckets), so a workload drawing *varying*
+#: holds must not grow the cache without bound.
+_HOLD_CACHE_MAX = 64
 
 
 class GuestKernel:
@@ -91,6 +100,17 @@ class GuestKernel:
         self.guest_switches = 0
         self.finished_at: Optional[int] = None
         self.irq_count = 0
+        # Quiescence fast-forward (sampled at construction): the inline
+        # dispatch fast paths reproduce the step-wise expansion's state
+        # shapes exactly (see docs/perf.md).  The caches below hold
+        # config constants (frozen dataclasses) and per-lock micro-steps
+        # so the hot loop does no repeated closure allocation.
+        self._ff = fastforward_enabled()
+        self._acq_wait = self.config.spinlock_acquire_cycles
+        self._measure_floor = 1 << self.vm.config.monitor.measure_floor_exp
+        self._hold_steps: Dict[int, MicroStep] = {}
+        self._tail_steps: Dict[str, MicroStep] = {}
+        self._decide_steps: Dict[str, MicroStep] = {}
         if self.config.irq_interval_cycles > 0:
             self._spawn_irq_daemon()
 
@@ -158,6 +178,7 @@ class GuestKernel:
         if not 0 <= vcpu_index < len(self.vm.vcpus):
             raise WorkloadError(f"vcpu index {vcpu_index} out of range")
         task = Task(name, program, self.vm.vcpus[vcpu_index], daemon=daemon)
+        task.runq = self.runqs[vcpu_index]
         self.tasks.append(task)
         if not daemon:
             self._workload_total += 1
@@ -240,7 +261,116 @@ class GuestKernel:
     # Dispatch engine
     # ------------------------------------------------------------------ #
     def _dispatch(self, task: Task) -> None:
-        """Run micro-steps until the task waits, blocks, or finishes."""
+        """Run micro-steps until the task waits, blocks, or finishes.
+
+        With fast-forward enabled the three hottest ops (Compute,
+        Critical, BarrierOp entry) are executed inline instead of being
+        expanded into micro-step closures first.  The inline paths are
+        *state-shape identical* to the expansion: same counters bumped in
+        the same order, same residual micro deque, same events armed at
+        the same cycle with the same labels — which is why every
+        fingerprint stays bit-identical (asserted by
+        tests/test_fastforward.py against ``REPRO_NO_FASTFORWARD=1``).
+        """
+        if not self._ff:
+            self._dispatch_slow(task)
+            return
+        sim = self.sim
+        # micro / program / the home runq are bound once per Task and
+        # never rebound (only mutated in place), so the Task-hoisted
+        # aliases (mpop/pnext/runq) hold for its whole lifetime.
+        micro = task.micro
+        mpop = task.mpop
+        pnext = task.pnext
+        runq = task.runq
+        while True:
+            if micro:
+                if mpop()(task) == WAIT:
+                    return
+                continue
+            # Op boundary: safe preemption point for guest rotation
+            # (cheap preconditions inlined: rotation needs a non-empty
+            # runq and no held locks; _maybe_rotate re-checks the rest).
+            if runq and not task.locks_held and self._maybe_rotate(task):
+                return
+            try:
+                op = pnext()
+            except StopIteration:
+                self._task_done(task)
+                return
+            cls = op.__class__
+            if cls is Compute:
+                # Coalesced compute: one armed activity, no
+                # _expand/_m_compute/_start_compute indirection.
+                task.ops_completed += 1
+                cycles = op.cycles
+                if cycles <= 0:
+                    continue
+                cb = task.on_compute_done
+                if cb is None:
+                    cb = partial(self._activity_done, task)
+                    task.on_compute_done = cb
+                if cycles.__class__ is not int:
+                    cycles = int(cycles)
+                act = task.act_spare
+                if act is None:
+                    act = Activity(cycles, cb)
+                else:
+                    # Recycled: re-initialise every field Activity's
+                    # constructor would set (on_complete included — the
+                    # retired object may come from a slow-path burst
+                    # with a custom completion callback).
+                    task.act_spare = None
+                    act.remaining = act.total = cycles
+                    act.on_complete = cb
+                task.activity = act
+                act.started_at = now = sim._now
+                # Scheduling inlined from Simulator.at: cycles is a
+                # positive int, so time = now + cycles is an int in the
+                # future and at()'s validation is provably redundant;
+                # every side effect (seq, heap entry, live/peak counts)
+                # is replicated exactly.
+                sim._seq = seq = sim._seq + 1
+                ev = Event.__new__(Event)
+                ev.time = time = now + cycles
+                ev.seq = seq
+                ev.callback = cb
+                ev.label = task.compute_label
+                ev.cancelled = False
+                ev.fired = False
+                ev._sim = sim
+                q = sim._queue
+                heappush(q, (time, seq, ev))
+                sim._live += 1
+                depth = len(q) + len(sim._timers)
+                if depth > sim.peak_heap_entries:
+                    sim.peak_heap_entries = depth
+                act.event = ev
+                return
+            if cls is Critical:
+                task.ops_completed += 1
+                lock = self.lock(op.lock)
+                if self._fast_lock_hold(task, lock, op.hold,
+                                        self._release_step(lock)):
+                    continue
+                return
+            if cls is BarrierOp:
+                bar = self.barriers.get(op.barrier)
+                if bar is None:
+                    raise WorkloadError(
+                        f"barrier {op.barrier} was never declared")
+                task.ops_completed += 1
+                if self._fast_lock_hold(
+                        task, bar.bucket,
+                        self.config.futex_bucket_hold_cycles,
+                        self._decide_step(bar)):
+                    continue
+                return
+            self._expand(task, op)
+            task.ops_completed += 1
+
+    def _dispatch_slow(self, task: Task) -> None:
+        """The original step-wise dispatch loop (``REPRO_NO_FASTFORWARD``)."""
         while True:
             step = task.next_micro()
             if step is None:
@@ -256,6 +386,102 @@ class GuestKernel:
                 continue
             if step(task) == WAIT:
                 return
+
+    def _fast_lock_hold(self, task: Task, lock: SpinLock, hold: int,
+                        tail: MicroStep) -> bool:
+        """Inline acquire → hold → ``tail`` (the fast-forward expansion of
+        Critical and the BarrierOp bucket entry).
+
+        Returns True when the dispatch loop should continue immediately
+        (uncontended, zero-length hold), False when the task now waits.
+        Equivalence with the step-wise path, case by case:
+
+        * uncontended, hold > 0 — lock fields set as ``try_acquire``
+          does, wait recorded through the same ``_record_wait``, then the
+          hold is armed exactly as ``_start_compute``/``_arm`` would
+          with the micro deque left as ``[tail]``;
+        * uncontended, hold <= 0 — ``_start_compute`` returns CONTINUE,
+          so only ``tail`` is queued and dispatch proceeds;
+        * contended — identical bookkeeping to ``_spin_acquire``'s miss
+          branch, with the deque left as ``[hold, tail]`` so the later
+          ``_grant`` replays the same steps.
+        """
+        now = self.hrtimer.read()
+        if lock.holder is None:
+            lock.holder = task
+            lock.held_since = now
+            task.locks_held += 1
+            self._record_wait(lock, self._acq_wait)
+            if hold <= 0:
+                task.micro.appendleft(tail)
+                return True
+            cb = task.on_compute_done
+            if cb is None:
+                cb = partial(self._activity_done, task)
+                task.on_compute_done = cb
+            if hold.__class__ is not int:
+                hold = int(hold)
+            act = task.act_spare
+            if act is None:
+                act = Activity(hold, cb)
+            else:
+                task.act_spare = None
+                act.remaining = act.total = hold
+                act.on_complete = cb
+            task.activity = act
+            task.micro.appendleft(tail)
+            sim = self.sim
+            act.started_at = snow = sim._now
+            # Scheduling inlined from Simulator.at, exactly as in the
+            # _dispatch Compute branch (hold is a positive int here).
+            sim._seq = seq = sim._seq + 1
+            ev = Event.__new__(Event)
+            ev.time = time = snow + hold
+            ev.seq = seq
+            ev.callback = cb
+            ev.label = task.compute_label
+            ev.cancelled = False
+            ev.fired = False
+            ev._sim = sim
+            q = sim._queue
+            heappush(q, (time, seq, ev))
+            sim._live += 1
+            depth = len(q) + len(sim._timers)
+            if depth > sim.peak_heap_entries:
+                sim.peak_heap_entries = depth
+            act.event = ev
+            return False
+        lock.record_contended()
+        lock.enqueue_waiter(task, now)
+        task.state = TaskState.SPINNING
+        task.spin_lock = lock
+        task.spin_since = now
+        task.micro.appendleft(tail)
+        task.micro.appendleft(self._hold_step(hold))
+        self._arm_over_threshold_check(task, lock, now)
+        return False
+
+    def _release_step(self, lock: SpinLock) -> MicroStep:
+        step = self._tail_steps.get(lock.name)
+        if step is None:
+            step = self._m_spin_release(lock)
+            self._tail_steps[lock.name] = step
+        return step
+
+    def _decide_step(self, bar: Barrier) -> MicroStep:
+        step = self._decide_steps.get(bar.name)
+        if step is None:
+            step = self._m_barrier_decide(bar)
+            self._decide_steps[bar.name] = step
+        return step
+
+    def _hold_step(self, cycles: int) -> MicroStep:
+        step = self._hold_steps.get(cycles)
+        if step is None:
+            step = self._m_compute(cycles)
+            if len(self._hold_steps) < _HOLD_CACHE_MAX:
+                self._hold_steps[cycles] = step
+        return step
 
     def _expand(self, task: Task, op: Op) -> None:
         if isinstance(op, Compute):
@@ -326,6 +552,10 @@ class GuestKernel:
         task.activity = None
         task.ran_since_dispatch += act.total
         task.compute_cycles_done += act.total
+        # Retire the object for the fast paths to recycle: a task runs at
+        # most one activity at a time and nothing keeps a reference past
+        # this point (the fired Event references the callback, not act).
+        task.act_spare = act
         self._dispatch(task)
 
     # -- spinlocks --------------------------------------------------------#
@@ -335,8 +565,16 @@ class GuestKernel:
         return step
 
     def _m_spin_release(self, lock: SpinLock):
+        grant_next = self._grant_next
+
         def step(task: Task) -> str:
-            return self._spin_release(task, lock)
+            # _spin_release's body, inlined: this closure is the tail of
+            # every Critical/Barrier hold, hot enough that the extra
+            # delegation frame was measurable.
+            lock.release(task)
+            task.locks_held -= 1
+            grant_next(lock)
+            return CONTINUE
         return step
 
     def _spin_acquire(self, task: Task, lock: SpinLock) -> str:
@@ -374,17 +612,15 @@ class GuestKernel:
         self.sim.at(since + threshold + 1, check,
                     label=f"ot-check:{task.name}")
 
-    def _spin_release(self, task: Task, lock: SpinLock) -> str:
-        lock.release(task)
-        task.locks_held -= 1
-        self._grant_next(lock)
-        return CONTINUE
-
     def _grant_next(self, lock: SpinLock) -> None:
         """Hand a freed lock to the oldest waiter that is spinning on an
         online VCPU right now.  Offline spinners stay queued (they race
         again when their VCPU resumes — the real lock's unfairness)."""
-        for waiter, since in list(lock.waiters):
+        if not lock.waiters:
+            return
+        # Iterating the live list is safe: the first grant removes its
+        # entry and returns immediately, so no mutation-while-iterating.
+        for waiter, since in lock.waiters:
             vcpu = waiter.vcpu
             if (waiter.state is TaskState.SPINNING and vcpu.is_online
                     and self.current[vcpu.index] is waiter):
@@ -416,7 +652,7 @@ class GuestKernel:
 
     def _record_wait(self, lock: SpinLock, wait: int) -> None:
         lock.record_acquisition(wait)
-        if wait >= (1 << self.vm.config.monitor.measure_floor_exp):
+        if wait >= self._measure_floor:
             self.trace.emit(self.sim.now, "spinlock.wait",
                             vm=self.vm.name, lock=lock.name, wait=wait)
         if self.monitor is not None:
@@ -427,7 +663,7 @@ class GuestKernel:
     # -- timed sleep ------------------------------------------------------#
     def _m_timed_sleep(self, cycles: int):
         def step(task: Task) -> str:
-            self.sim.after(cycles, lambda: self._make_ready(task),
+            self.sim.after(cycles, partial(self._make_ready, task),
                            label=f"sleep:{task.name}")
             self._block_current(task)
             return WAIT

@@ -22,7 +22,7 @@ from typing import Iterator, Union
 from repro.errors import WorkloadError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Burn ``cycles`` of CPU time."""
 
@@ -33,7 +33,7 @@ class Compute:
             raise WorkloadError(f"negative compute {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Critical:
     """Acquire spinlock ``lock``, compute for ``hold`` cycles, release.
 
@@ -51,7 +51,7 @@ class Critical:
             raise WorkloadError("Critical needs a lock name")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarrierOp:
     """Arrive at barrier ``barrier`` and wait for all parties."""
 
@@ -62,7 +62,7 @@ class BarrierOp:
             raise WorkloadError("BarrierOp needs a barrier name")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sleep:
     """Block for ``cycles`` of wall-clock time (a kernel timer sleep).
 
@@ -77,7 +77,7 @@ class Sleep:
             raise WorkloadError(f"non-positive sleep {self.cycles}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlagSet:
     """Raise shared flag ``flag`` to at least ``value`` (userspace store +
     flush; effectively free)."""
@@ -90,7 +90,7 @@ class FlagSet:
             raise WorkloadError("FlagSet needs a flag name")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlagWait:
     """Busy-wait (userspace spin, burning CPU) until flag >= ``value``.
 
@@ -106,7 +106,7 @@ class FlagWait:
             raise WorkloadError("FlagWait needs a flag name")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemDown:
     """P() on semaphore ``sem``: blocks when the count is zero."""
 
@@ -117,7 +117,7 @@ class SemDown:
             raise WorkloadError("SemDown needs a semaphore name")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemUp:
     """V() on semaphore ``sem``: wakes one blocked waiter if any."""
 

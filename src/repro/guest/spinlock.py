@@ -36,7 +36,7 @@ class SpinLock:
 
     __slots__ = ("name", "holder", "waiters", "acquisitions",
                  "contended_acquisitions", "max_wait", "total_wait",
-                 "held_since")
+                 "wait_hist", "held_since")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -48,6 +48,13 @@ class SpinLock:
         self.contended_acquisitions = 0
         self.max_wait = 0
         self.total_wait = 0
+        #: log2 wait histogram: ``wait_hist[wait.bit_length()] += 1`` per
+        #: acquisition (bucket 0 = zero wait, bucket k = [2^(k-1), 2^k)).
+        #: Lives here — the single accounting point — so the fast-forward
+        #: paths, which account a whole skipped spin interval in one
+        #: arithmetic step, produce bit-identical histograms to per-
+        #: quantum stepping (the paper's Figure 2/3-style distributions).
+        self.wait_hist: List[int] = [0] * 67
         self.held_since: Optional[int] = None
 
     # ------------------------------------------------------------------ #
@@ -93,8 +100,13 @@ class SpinLock:
         """Bookkeeping for one completed acquisition with ``wait`` cycles."""
         self.acquisitions += 1
         self.total_wait += wait
+        self.wait_hist[wait.bit_length()] += 1
         if wait > self.max_wait:
             self.max_wait = wait
+
+    def wait_hist_nonzero(self) -> dict:
+        """``{log2 bucket: count}`` for the populated histogram buckets."""
+        return {i: c for i, c in enumerate(self.wait_hist) if c}
 
     def record_contended(self) -> None:
         self.contended_acquisitions += 1

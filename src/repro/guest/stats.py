@@ -9,7 +9,7 @@ guest's synchronisation behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List
 
 from repro import units
@@ -27,6 +27,11 @@ class LockStats:
     contended: int
     max_wait: int
     mean_wait: float
+    #: log2 wait histogram buckets, ``{bit_length(wait): count}`` — the
+    #: populated buckets of :attr:`SpinLock.wait_hist`.  A parity anchor
+    #: for the fast-forward paths: skipped spin intervals must land in
+    #: exactly the buckets per-quantum stepping would fill.
+    wait_hist: Dict[int, int] = field(default_factory=dict)
 
     @property
     def contention_ratio(self) -> float:
@@ -56,7 +61,7 @@ class GuestSnapshot:
             for t in kernel.tasks]
         self.locks: List[LockStats] = [
             LockStats(lk.name, lk.acquisitions, lk.contended_acquisitions,
-                      lk.max_wait, lk.mean_wait())
+                      lk.max_wait, lk.mean_wait(), lk.wait_hist_nonzero())
             for lk in kernel.locks.values()]
         self.sem_waits = {s.name: s.blocked_waits
                           for s in kernel.semaphores.values()}

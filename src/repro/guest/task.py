@@ -80,7 +80,7 @@ class Task:
                  "activity", "spin_lock", "spin_since", "spin_flag",
                  "locks_held", "ran_since_dispatch", "ops_completed",
                  "compute_cycles_done", "finished_at", "compute_label",
-                 "on_compute_done")
+                 "on_compute_done", "act_spare", "mpop", "pnext", "runq")
 
     def __init__(self, name: str, program: "Program", vcpu: "VCPU",
                  daemon: bool = False) -> None:
@@ -93,6 +93,14 @@ class Task:
         self.daemon = daemon
         self.state = TaskState.READY
         self.micro: Deque[MicroStep] = deque()
+        #: Hot-dispatch aliases: micro and program are fixed for the
+        #: task's lifetime (only mutated in place), so their bound
+        #: methods are hoisted here once instead of per dispatch.
+        self.mpop = self.micro.popleft
+        self.pnext = program.__next__
+        #: Home run queue, assigned by the kernel at spawn (the VCPU
+        #: pinning makes it constant too).
+        self.runq: Optional[Deque["Task"]] = None
         self.activity: Optional[Activity] = None
         #: The spinlock this task is currently spinning on, if any.
         self.spin_lock: Optional["SpinLock"] = None
@@ -114,6 +122,11 @@ class Task:
         #: Default activity-completion callback, installed by the kernel
         #: on first use (one closure per task, not per burst).
         self.on_compute_done: Optional[Callable[[], None]] = None
+        #: Retired Activity available for reuse.  A task runs at most one
+        #: activity at a time and nothing retains one past completion, so
+        #: the kernel's fast dispatch recycles the object (fully re-
+        #: initialised) instead of allocating per burst.
+        self.act_spare: Optional[Activity] = None
 
     # ------------------------------------------------------------------ #
     @property

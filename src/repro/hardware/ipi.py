@@ -9,7 +9,8 @@ returns immediately and the handler fires as a simulation event.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.hardware.machine import Machine
@@ -35,6 +36,9 @@ class IPIFabric:
         #: Optional fault injector (repro.faults): drop / latency jitter.
         #: None in the default path — a single attribute test per send.
         self.faults: Optional["FaultInjector"] = None
+        #: (source, target) -> event label; IPI endpoints repeat heavily
+        #: (coscheduling fan-outs), so build each label string once.
+        self._labels: Dict[Tuple[int, int], str] = {}
 
     def register(self, pcpu_id: int, handler: IPIHandler) -> None:
         """Install the interrupt handler for a PCPU (one per PCPU)."""
@@ -59,9 +63,12 @@ class IPIFabric:
                 return  # dropped on the wire; the sender never knows
             latency = delivery
         handler = self._handlers[target]
-        self.sim.after(latency,
-                       lambda: handler(target, source, payload),
-                       label=f"ipi:{source}->{target}")
+        key = (source, target)
+        label = self._labels.get(key)
+        if label is None:
+            label = self._labels[key] = f"ipi:{source}->{target}"
+        self.sim.after(latency, partial(handler, target, source, payload),
+                       label=label)
 
     def broadcast(self, source: int, targets: List[int], payload: Any = None) -> None:
         """Send the same IPI to every PCPU in ``targets``."""

@@ -26,7 +26,7 @@ host speed with a pure-Python calibration loop.
 
 from repro.perf.harness import (BenchResult, calibrate, check_against_baseline,
                                 load_baseline, registry, run_benchmarks,
-                                write_baseline, write_result)
+                                run_config, write_baseline, write_result)
 from repro.perf import macro, micro  # noqa: F401  (register benchmarks)
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "load_baseline",
     "registry",
     "run_benchmarks",
+    "run_config",
     "write_baseline",
     "write_result",
 ]

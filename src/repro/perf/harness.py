@@ -90,6 +90,24 @@ def fingerprint_of(*values: int) -> int:
     return acc
 
 
+def run_config() -> Dict[str, bool]:
+    """The determinism-relevant configuration of this process.
+
+    Sanitizer-on runs execute extra validation work (slower) and
+    fast-forward-off runs take the step-wise paths (also slower); both
+    still produce identical fingerprints, but their events/sec are not
+    comparable to a differently-configured baseline.  Every baseline is
+    stamped with this dict and :func:`check_against_baseline` refuses to
+    compare across differing stamps instead of reporting a phantom
+    regression (or masking a real one).
+    """
+    from repro import analysis
+    from repro.sim.fastforward import fastforward_enabled
+
+    return {"sanitize": analysis.sanitize_enabled(),
+            "fastforward": fastforward_enabled()}
+
+
 def timed(fn: Callable[[], int]) -> tuple:
     """Run ``fn`` (returning an event count) under a wall-clock timer;
     return ``(wall_s, events)``."""
@@ -171,6 +189,7 @@ def write_baseline(results: Sequence[BenchResult], path: Path,
     doc = {
         "meta": {
             "mode": "quick" if quick else "full",
+            "config": run_config(),
             "calibration_events_per_s": round(calibration, 1),
             "python": platform.python_version(),
             "machine": platform.machine(),
@@ -192,6 +211,9 @@ def check_against_baseline(results: Sequence[BenchResult], baseline: Dict,
     """Compare a run against a baseline.  Returns a list of human-readable
     failures (empty = pass).
 
+    * the baseline's config stamp (sanitize / fast-forward state) must
+      match this process exactly — differently-configured runs are not
+      performance-comparable and the check refuses them loudly;
     * events/sec may not drop more than ``threshold`` below the baseline
       after host-speed normalisation;
     * fingerprints must match exactly (determinism gate);
@@ -200,6 +222,20 @@ def check_against_baseline(results: Sequence[BenchResult], baseline: Dict,
     """
     failures: List[str] = []
     meta = baseline.get("meta", {})
+    base_config = meta.get("config")
+    config = run_config()
+    if base_config is None:
+        failures.append(
+            "baseline has no config stamp (pre-quiescence-fast-forward "
+            "schema); regenerate it with --update-baseline")
+        return failures
+    if base_config != config:
+        failures.append(
+            f"config mismatch: baseline recorded with {base_config} but "
+            f"this run is {config} — events/sec across sanitizer or "
+            f"fast-forward settings are not comparable; rerun with a "
+            f"matching configuration or regenerate the baseline")
+        return failures
     base_cal = float(meta.get("calibration_events_per_s", 0.0))
     scale = (calibration / base_cal) if base_cal > 0 else 1.0
     by_name = {r.name: r for r in results}

@@ -5,6 +5,15 @@ schedulers, monitors and trace collectors.  Each reports the simulator's
 events/second over the wall-clock run plus a fingerprint of the
 simulated outcome (completion cycle, event count, spinlock statistics),
 so the perf gate doubles as a same-seed determinism gate.
+
+Timings here are only comparable between runs with the same
+determinism-relevant configuration: a sanitizer-on run re-validates
+every scheduling pass and a fast-forward-off run takes the step-wise
+dispatch paths, so both are deliberately slower while producing the
+same fingerprints.  Baselines are therefore stamped with
+:func:`repro.perf.harness.run_config` and
+:func:`~repro.perf.harness.check_against_baseline` refuses a stamp
+mismatch instead of comparing incompatible configs.
 """
 
 from __future__ import annotations

@@ -111,6 +111,51 @@ def periodic_storm(quick: bool = False) -> BenchResult:
         fingerprint=fingerprint_of(sim.now, sim.events_executed, sum(fired)))
 
 
+@bench("compute_chain")
+def compute_chain(quick: bool = False) -> BenchResult:
+    """Pure-Compute dispatch: the coalesced-segment fast path.
+
+    A 4-PCPU machine runs one 4-VCPU VM whose 4 tasks are long chains of
+    Compute segments with zero synchronisation.  Every op takes the
+    guest kernel's inline Compute dispatch — one Activity event per
+    segment, credit burned in closed form at the tick boundaries in
+    between — so this isolates the fast-forward compute-coalescing win
+    (and, with ``REPRO_NO_FASTFORWARD=1``, the step-wise cost it
+    replaces) from lock/barrier traffic.
+    """
+    from repro.config import GuestConfig
+
+    ops_per_task = 4_000 if quick else 16_000
+    sim = Simulator()
+    trace = TraceBus()
+    machine = Machine(MachineConfig(num_pcpus=4, sockets=1), sim)
+    sched = CreditScheduler(machine, sim, trace,
+                            SchedulerConfig(work_conserving=True))
+    gcfg = GuestConfig(irq_interval_cycles=0)
+    vm = VM(0, VMConfig(name="chain", num_vcpus=4, guest=gcfg), sim, trace)
+    sched.add_vm(vm)
+    kernel = GuestKernel(vm, sim, trace, gcfg)
+
+    def program(seed: int):
+        for i in range(ops_per_task):
+            yield Compute(2_000 + 500 * ((seed + i) % 7))
+
+    for t in range(4):
+        kernel.spawn(f"c{t}", program(t), vcpu_index=t)
+    sched.start()
+
+    def drive() -> int:
+        sim.run_until_true(lambda: kernel.finished,
+                           deadline=10_000_000_000)
+        return sim.events_executed
+
+    wall, _ = timed(drive)
+    return result_from_sim(
+        "compute_chain", sim, wall,
+        fingerprint=fingerprint_of(sim.now, sim.events_executed,
+                                   kernel.finished_at or 0))
+
+
 @bench("spinlock_storm")
 def spinlock_storm(quick: bool = False) -> BenchResult:
     """Guest spinlock contention storm through the full stack.

@@ -146,10 +146,20 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at {time} (now={self._now})")
         self._seq = seq = self._seq + 1
-        ev = Event(time, seq, callback, label, self)
-        heapq.heappush(self._queue, (time, seq, ev))
+        # Inline Event construction (this is the hottest allocation in
+        # the simulator; skipping the __init__ frame is measurable).
+        ev = Event.__new__(Event)
+        ev.time = time
+        ev.seq = seq
+        ev.callback = callback
+        ev.label = label
+        ev.cancelled = False
+        ev.fired = False
+        ev._sim = self
+        q = self._queue
+        heapq.heappush(q, (time, seq, ev))
         self._live += 1
-        depth = len(self._queue) + len(self._timers)
+        depth = len(q) + len(self._timers)
         if depth > self.peak_heap_entries:
             self.peak_heap_entries = depth
         return ev
@@ -332,6 +342,73 @@ class Simulator:
             if predicate():
                 return True
         return predicate()
+
+    def run_until_stopped(self, deadline: Optional[int] = None) -> bool:
+        """Run until :meth:`stop` is called from inside an event callback.
+
+        The fast-forward twin of :meth:`run_until_true` for drivers that
+        can push completion instead of polling it: a completion callback
+        (e.g. :meth:`repro.guest.kernel.GuestKernel.on_all_done`) calls
+        ``stop()`` and this loop exits after that event, leaving the
+        clock on the stopping event's timestamp — the exact stop point a
+        predicate poll would have produced, with the per-event predicate
+        call and the duplicated dead-head stripping of the peek+step
+        pair fused away.
+
+        Returns True if stopped, False if the queue drained or the
+        ``deadline`` (absolute cycles) passed first; on a deadline the
+        clock is set to it, exactly as :meth:`run_until_true` does.
+        """
+        if deadline is not None and deadline.__class__ is not int:
+            deadline = _as_cycles(deadline)
+        self._stopped = False
+        q = self._queue
+        tq = self._timers
+        pop = heapq.heappop
+        replace = heapq.heapreplace
+        # No deadline compares as +inf: every int is below it, so the
+        # deadline branches stay dead without a per-event None test.
+        dl = float("inf") if deadline is None else deadline
+        # Executed-count batching: no callback reads events_executed
+        # mid-run (it is consumed after the run by the perf/conformance
+        # layers), so count locally and write back on every exit path.
+        executed = self.events_executed
+        try:
+            while not self._stopped:
+                while q and q[0][2].cancelled:
+                    pop(q)
+                while tq and tq[0][2]._cancelled:
+                    pop(tq)
+                if tq:
+                    th, ts, pe = tq[0]
+                    if not q or th < q[0][0] \
+                            or (th == q[0][0] and ts < q[0][1]):
+                        if th > dl:
+                            self._now = deadline
+                            return False
+                        # Periodic fast path, as in step(): advance,
+                        # re-arm in place, then invoke.
+                        self._now = th
+                        self._seq = seq = self._seq + 1
+                        replace(tq, (th + pe.period, seq, pe))
+                        executed += 1
+                        pe.callback()
+                        continue
+                if not q:
+                    return False
+                time, _seq_, ev = q[0]
+                if time > dl:
+                    self._now = deadline
+                    return False
+                pop(q)
+                self._now = time
+                ev.fired = True
+                self._live -= 1
+                executed += 1
+                ev.callback()
+            return True
+        finally:
+            self.events_executed = executed
 
     def stop(self) -> None:
         """Stop the current ``run*`` call after the in-flight event."""

@@ -35,6 +35,15 @@ class AdaptiveScheduler(SchedulerBase):
 
     name = "asman"
 
+    # Quiescent-tick fast-forward: safe.  ``eligible`` is inherited (the
+    # side-effect-free parked test), so with every queued VCPU parked a
+    # scheduling pass picks nothing — and all ASMan-specific machinery
+    # (``post_pick`` IPI fan-out, launch mutex, gang windows) sits
+    # strictly *after* a pick, hence is unreachable.  Relocation and the
+    # gang park/unpark rule run from assignment and VCRD events, which
+    # the fast path never skips.
+    ff_quiescent_safe = True
+
     def __init__(self, *args, llc_aware: bool = False, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         #: LLC-aware placement (the paper's future work, Section 7:

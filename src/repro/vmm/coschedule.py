@@ -27,6 +27,11 @@ class StaticCoscheduler(AdaptiveScheduler):
 
     name = "con"
 
+    # Restated (inherited True from AdaptiveScheduler) to make the
+    # quiescent-tick opt-in explicit: CON changes only the coscheduling
+    # *trigger*, not eligibility, so the parent's no-op proof carries.
+    ff_quiescent_safe = True
+
     def _wants_cosched(self, vm: VM) -> bool:
         return vm.concurrent_hint
 

@@ -19,10 +19,39 @@ from repro.vmm.scheduler_base import SchedulerBase
 from repro.vmm.vm import VM
 
 
+def closed_form_burn(elapsed: int, credit_per_tick: float, tick_cycles: int,
+                     speed_factor: float = 1.0) -> float:
+    """The exact-accounting credit burn for ``elapsed`` cycles of runtime,
+    in one arithmetic step.
+
+    This is the algebra behind compute coalescing: the debit is *linear*
+    in elapsed time, so charging a whole coalesced interval at once
+    (``elapsed * credit_per_tick / tick_cycles``) equals stepping through
+    any number of intermediate debit points summing to the same elapsed
+    cycles.  :meth:`SchedulerBase._debit` applies the identical formula
+    inline on its hot path; ``tests/test_fastforward.py`` pins the two to
+    each other, including the degraded-PCPU ``speed_factor`` divide.
+    """
+    burn = elapsed * credit_per_tick / tick_cycles
+    if speed_factor != 1.0:
+        burn /= speed_factor
+    return burn
+
+
 class CreditScheduler(SchedulerBase):
     """Xen's Credit scheduler: proportional share, no coscheduling."""
 
     name = "credit"
+
+    # Quiescent-tick fast-forward is safe here: ``eligible`` is the base
+    # parked test with no side effects, ``post_pick`` is a no-op, and
+    # ``_schedule`` on an idle PCPU with every queued VCPU parked scans
+    # the runqs and returns without placing, tracing or counting
+    # anything.  Credit conservation is untouched — Algorithm 3 runs at
+    # assignment ticks regardless, and per-interval burn is the linear
+    # :func:`closed_form_burn`, indifferent to how many scheduling
+    # passes observe it.
+    ff_quiescent_safe = True
 
     def on_vcrd_change(self, vm: VM) -> None:
         # Plain Xen has no notion of VCRD: the hypercall is accepted (the

@@ -35,6 +35,15 @@ class RelaxedCoscheduler(SchedulerBase):
 
     name = "relaxed"
 
+    # Quiescent-tick fast-forward: safe, but only because of the
+    # short-circuit order in :meth:`eligible` below — the parked test
+    # runs *before* the skew check, so a parked VCPU never evaluates
+    # skew and never bumps the ``skew_stops`` counter.  With every
+    # queued VCPU parked the scheduling pass is therefore side-effect
+    # free even though this scheduler's eligibility is stateful.  If the
+    # check order ever flips, this opt-in must be revoked.
+    ff_quiescent_safe = True
+
     def __init__(self, *args, skew_bound: int = DEFAULT_SKEW_BOUND,
                  **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -31,6 +31,7 @@ from repro.errors import ConfigurationError, SchedulerInvariantError
 from repro.hardware.ipi import IPIFabric
 from repro.hardware.machine import Machine, PCPU
 from repro.sim.engine import Simulator
+from repro.sim.fastforward import fastforward_enabled
 from repro.sim.tracing import TraceBus
 from repro.vmm.vm import VCPU, VM, VCPUState
 
@@ -43,6 +44,16 @@ class SchedulerBase:
 
     #: Human-readable scheduler name, overridden by subclasses.
     name = "base"
+
+    #: May the quiescent-tick fast-forward skip this scheduler's
+    #: scheduling pass when the ticked PCPU is idle and every queued
+    #: VCPU is parked?  Opting in carries a proof obligation: in that
+    #: state ``_schedule`` must be a *strict no-op* — no placement, no
+    #: trace emission, no counter or policy side effects (see the
+    #: rationale comments on each opting-in subclass).  Default off so
+    #: subclasses with unknown ``eligible``/``post_pick`` behaviour keep
+    #: exact step-wise semantics.
+    ff_quiescent_safe = False
 
     def __init__(self, machine: Machine, sim: Simulator, trace: TraceBus,
                  config: Optional[SchedulerConfig] = None) -> None:
@@ -77,6 +88,8 @@ class SchedulerBase:
         #: None in the default path: every hook below is a single
         #: attribute test, so the sanitizer costs nothing when off.
         self.sanitizer: Optional["SchedulerSanitizer"] = None
+        #: Quiescence fast-forward, sampled at construction (PR 9).
+        self._ff = fastforward_enabled()
         for p in machine:
             self.ipi.register(p.id, self._on_ipi)
 
@@ -197,7 +210,38 @@ class SchedulerBase:
             # (staggered) tick.  This is what desynchronises the online
             # windows of a capped VM's VCPUs — the seed of lock-holder
             # preemption under the Credit baseline.
+        if (self._ff and self.ff_quiescent_safe and pcpu.current is None
+                and (self._queued == 0 or self._all_queued_parked())):
+            # Lazy credit tick: the PCPU is idle and nothing queued is
+            # eligible anywhere (base eligibility is exactly ``not
+            # parked``), so the scheduling pass below would scan the
+            # runqs, pick nothing, place nothing, emit nothing.  Skip
+            # it.  Everything observable already happened above: the
+            # tick counter advanced and — on PCPU 0 — Algorithm 3 ran
+            # with exact conservation, so UNDER/OVER transitions and
+            # park/unpark flips are identical; the *next* tick after an
+            # unpark takes the normal path because the parked scan
+            # fails.  With the sanitizer attached nothing is skipped:
+            # the pass is replayed for real and asserted to be the
+            # no-op the proof claims (check "ff-quiescence").
+            if self.sanitizer is not None:
+                self.sanitizer.check_ff_quiescence(pcpu)
+                self.sanitizer.after_schedule(pcpu)
+            return
         self.schedule(pcpu)
+
+    def _all_queued_parked(self) -> bool:
+        """True when every queued VCPU is parked under its cap — i.e. no
+        scheduling pass anywhere could place anything.  Always False in
+        work-conserving mode, where parking does not exist and every
+        queued VCPU is eligible."""
+        if self.config.work_conserving:
+            return False
+        for runq in self.runqs.values():
+            for v in runq:
+                if not v.parked:
+                    return False
+        return True
 
     def assign_credits(self) -> None:
         """Algorithm 3: distribute Cred_total = |P| * Cred_unit * K among

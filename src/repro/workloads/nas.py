@@ -37,7 +37,8 @@ from repro import units
 from repro.errors import WorkloadError
 from repro.guest.kernel import GuestKernel
 from repro.guest.ops import BarrierOp, Compute, Critical, FlagSet, FlagWait, Op
-from repro.workloads.base import Workload, jittered
+from repro.sim.fastforward import fastforward_enabled
+from repro.workloads.base import JitteredStream, Workload, jittered
 
 #: Hold time of a modelled kernel critical section (~3.4 us — a futex
 #: bucket / runqueue-lock scale hold, the locks the paper instruments).
@@ -168,6 +169,25 @@ class NasBenchmark(Workload):
         segments = (p.criticals_per_iter + p.barriers_per_iter
                     + p.pipeline_sweeps)
         seg_mean = p.compute_per_iter / max(1, segments)
+        # Every draw in this program uses the constant (seg_mean,
+        # jitter_cv) pair — with segments == 0 the only draw site has
+        # mean == compute_per_iter == seg_mean — so fast-forward batches
+        # them through one JitteredStream on the thread-private RNG
+        # (bit-identical to the scalar calls; see JitteredStream).
+        if fastforward_enabled():
+            draw = JitteredStream(rng, seg_mean, p.jitter_cv).draw
+        else:
+            def draw() -> int:
+                return jittered(rng, seg_mean, p.jitter_cv)
+        # Ops are frozen (immutable) dataclasses, so the sync ops whose
+        # fields repeat every iteration are built once and re-yielded;
+        # name strings for the per-sweep flag ops are likewise hoisted.
+        bar_op = BarrierOp(f"{self.name}.bar")
+        crit_ops = [Critical(f"{self.name}.lk{(t + c) % self._nlocks}",
+                             p.critical_hold)
+                    for c in range(p.criticals_per_iter)]
+        pred_flag = f"{self.name}.pipe{t - 1}"
+        my_flag = f"{self.name}.pipe{t}"
         sweep = 0  # global pipeline step counter across rounds
         for _round in range(self.rounds):
             for it in range(p.iterations):
@@ -176,19 +196,17 @@ class NasBenchmark(Workload):
                     # Wavefront: wait for the predecessor thread's flag,
                     # compute this thread's share, publish progress.
                     if t > 0:
-                        yield FlagWait(f"{self.name}.pipe{t - 1}", sweep)
-                    yield Compute(jittered(rng, seg_mean, p.jitter_cv))
-                    yield FlagSet(f"{self.name}.pipe{t}", sweep)
-                for c in range(p.criticals_per_iter):
-                    yield Compute(jittered(rng, seg_mean, p.jitter_cv))
-                    lock = f"{self.name}.lk{(t + c) % self._nlocks}"
-                    yield Critical(lock, p.critical_hold)
+                        yield FlagWait(pred_flag, sweep)
+                    yield Compute(draw())
+                    yield FlagSet(my_flag, sweep)
+                for crit in crit_ops:
+                    yield Compute(draw())
+                    yield crit
                 for _ in range(p.barriers_per_iter):
-                    yield Compute(jittered(rng, seg_mean, p.jitter_cv))
-                    yield BarrierOp(f"{self.name}.bar")
+                    yield Compute(draw())
+                    yield bar_op
                 if segments == 0:
-                    yield Compute(jittered(rng, p.compute_per_iter,
-                                           p.jitter_cv))
+                    yield Compute(draw())
             self._note_round(t)
 
     def describe(self) -> Dict[str, object]:

@@ -16,9 +16,12 @@ def result(name="demo", events_per_s=1000.0, fingerprint=None):
                        fingerprint=fingerprint)
 
 
-def baseline_doc(results, calibration=1000.0):
+def baseline_doc(results, calibration=1000.0, config=None):
+    from repro.perf.harness import run_config
+
     return {
         "meta": {"mode": "quick",
+                 "config": run_config() if config is None else config,
                  "calibration_events_per_s": calibration},
         "benches": {r.name: r.to_dict() for r in results},
     }
@@ -121,3 +124,32 @@ class TestBaselineCheck:
                                       threshold=0.30) == []
         assert check_against_baseline(got, base, calibration=1000.0,
                                       threshold=0.10) != []
+
+    def test_config_mismatch_refused(self):
+        # A baseline recorded with the opposite fast-forward setting is
+        # not performance-comparable: the check must fail loudly instead
+        # of reporting a phantom regression (or masking a real one).
+        from repro.perf.harness import run_config
+
+        other = dict(run_config())
+        other["fastforward"] = not other["fastforward"]
+        base = baseline_doc([result(events_per_s=1000.0)], config=other)
+        failures = check_against_baseline(
+            [result(events_per_s=1000.0)], base, calibration=1000.0)
+        assert len(failures) == 1
+        assert "config mismatch" in failures[0]
+
+    def test_unstamped_baseline_refused(self):
+        base = baseline_doc([result()])
+        del base["meta"]["config"]
+        failures = check_against_baseline([result()], base,
+                                          calibration=1000.0)
+        assert failures and "config stamp" in failures[0]
+
+    def test_write_baseline_stamps_config(self, tmp_path):
+        from repro.perf.harness import run_config, write_baseline
+
+        path = tmp_path / "base.json"
+        write_baseline([result()], path, quick=True, calibration=1.0)
+        doc = load_baseline(path)
+        assert doc["meta"]["config"] == run_config()

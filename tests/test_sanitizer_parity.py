@@ -93,6 +93,7 @@ class TestRuntimeChecksMatchSanitizer:
         "gang-atomicity": "_check_gang_atomicity",
         "launch-mutex": "_check_launch_mutex",
         "lhp-provenance": "note_spin_wait",
+        "ff-quiescence": "check_ff_quiescence",
     }
 
     def test_enforcement_map_covers_the_registry(self):
