@@ -71,6 +71,11 @@ STREAM_ROUTES: Dict[str, Tuple[str, ...]] = {
     "learner": ("repro.asman",),
     "faults": ("repro.faults", "repro.experiments"),
     "conformance": ("repro.conformance",),
+    # Driver-level streams: supervised-retry backoff jitter and the
+    # chaos harness's injection schedule both live one level above the
+    # simulation, in the parallel fabric only.
+    "supervisor": ("repro.parallel",),
+    "chaos": ("repro.parallel",),
 }
 
 #: Wall-clock reading attributes (superset of the per-file rule's list).

@@ -35,6 +35,16 @@ processes, and a content-addressed result cache under ``.repro-cache/``
 that is on by default — ``--no-cache`` disables it, ``--cache-dir``
 relocates it.  Results are bit-identical at any job count.
 
+Every fabric batch runs *supervised* (``repro.parallel.supervisor``):
+worker crashes rebuild the pool and re-dispatch only the lost cells,
+``--cell-timeout``/``--batch-deadline`` bound wall-clock budgets,
+``--retries`` bounds deterministic per-cell retry, and each completed
+cell is journaled so an interrupted ``sweep``/``conform`` re-run with
+``--resume`` re-executes only the missing cells.  ``--no-supervise``
+restores the bare PR-3 fan-out; ``--chaos KEY=VALUE,...`` injects
+deterministic driver-level faults (worker kills, stalls, cache
+corruption — see ``repro chaos`` for the self-proving demo).
+
 Everything the CLI does goes through the same public API the examples
 use; it adds no behaviour, only ergonomics.
 """
@@ -108,6 +118,20 @@ def _parse_faults(text: Optional[str]):
         spec = FaultSpec.parse(text)
     except ConfigurationError as exc:
         raise SystemExit(f"bad --faults spec: {exc}")
+    return None if spec.is_noop() else spec
+
+
+def _parse_chaos(text: Optional[str]):
+    """Map the ``--chaos`` option to a ChaosSpec (None when absent or a
+    no-op, so clean runs never touch the injector)."""
+    if text is None:
+        return None
+    from repro.errors import ConfigurationError
+    from repro.parallel.chaos import ChaosSpec
+    try:
+        spec = ChaosSpec.parse(text)
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad --chaos spec: {exc}")
     return None if spec.is_noop() else spec
 
 
@@ -398,6 +422,100 @@ def cmd_conform(args) -> int:
     return 1
 
 
+def cmd_chaos(args) -> int:
+    """``repro chaos``: the self-proving driver-level chaos demo.
+
+    Three phases over one small cell batch, in scratch caches under
+    ``<cache>/chaos-demo/``: (1) a clean serial reference run; (2) a
+    supervised parallel run under injected worker kills/stalls/errors —
+    merged results must be bit-identical to the reference; (3) a warm
+    rerun after deterministically corrupting cache entries — corrupt
+    entries must be quarantined and re-executed, fingerprints unchanged.
+    Any fingerprint divergence raises
+    :class:`~repro.errors.ExecutionError` (exit code 3).
+    """
+    import os as _os
+    import pathlib
+
+    from repro import parallel
+    from repro.errors import ExecutionError
+    from repro.parallel import ResultCache, run_cells, single_vm_cell
+    from repro.parallel.chaos import ChaosSpec
+    from repro.parallel.supervisor import (SupervisorPolicy,
+                                           set_default_chaos,
+                                           set_default_resume)
+
+    # The demo controls its own injection per phase: the fabric-wide
+    # defaults installed from --chaos/--resume must not leak into the
+    # clean reference run (main() restores them afterwards).
+    set_default_chaos(None)
+    set_default_resume(False)
+
+    chaos = _parse_chaos(args.chaos)
+    if chaos is None:
+        chaos = ChaosSpec(seed=7, kill_rate=0.3, stall_rate=0.2,
+                          stall_s=0.05, error_rate=0.3, corrupt_rate=0.6)
+    policy = SupervisorPolicy(
+        cell_timeout_s=args.cell_timeout,
+        batch_deadline_s=args.batch_deadline,
+        max_retries=args.retries if args.retries is not None else 3,
+        max_pool_rebuilds=10)
+
+    wl = _workload_spec(args.workload, args.scale)
+    scheds = args.schedulers.split(",")
+    for s in scheds:
+        if s not in SCHEDULERS:
+            raise SystemExit(f"unknown scheduler {s!r}")
+    specs = [single_vm_cell(wl, scheduler=sched, online_rate=rate,
+                            seed=seed)
+             for sched in scheds for rate in (1.0, 0.4)
+             for seed in args.seeds]
+
+    scratch = pathlib.Path(
+        args.cache_dir or _os.environ.get("REPRO_CACHE_DIR")
+        or parallel.DEFAULT_CACHE_DIR) / "chaos-demo"
+    clean_cache = ResultCache(scratch / "clean")
+    clean_cache.clear()
+    chaos_cache = ResultCache(scratch / "chaos")
+    chaos_cache.clear()
+
+    print(f"chaos spec: {chaos.describe()} (seed {chaos.seed})")
+    print(f"batch: {len(specs)} cell(s), {args.workload} "
+          f"scale {args.scale:g}, schedulers {','.join(scheds)}")
+
+    ref = run_cells(specs, jobs=1, cache=clean_cache,
+                    policy=SupervisorPolicy())
+    ref_fp = ref.combined_fingerprint()
+    print(f"[1/3] clean serial reference        : {ref_fp}")
+
+    jobs = args.jobs if args.jobs is not None else "2"
+    cold = run_cells(specs, jobs=jobs, cache=chaos_cache,
+                     policy=policy, chaos=chaos)
+    cold.raise_if_failed()
+    cold_fp = cold.combined_fingerprint()
+    print(f"[2/3] supervised run under chaos    : {cold_fp}")
+    if cold.supervisor is not None:
+        print(f"      {cold.supervisor.describe()}")
+
+    warm = run_cells(specs, jobs=jobs, cache=chaos_cache,
+                     policy=policy, chaos=chaos)
+    warm.raise_if_failed()
+    warm_fp = warm.combined_fingerprint()
+    quarantined = chaos_cache.quarantined
+    print(f"[3/3] warm rerun + cache corruption : {warm_fp}")
+    print(f"      {quarantined} corrupt cache entr"
+          f"{'y' if quarantined == 1 else 'ies'} quarantined and "
+          f"re-executed")
+
+    if cold_fp != ref_fp or warm_fp != ref_fp:
+        raise ExecutionError(
+            f"chaos determinism gate FAILED: clean {ref_fp}, "
+            f"cold chaos {cold_fp}, warm chaos {warm_fp}")
+    print(f"chaos determinism gate OK: results bit-identical to the "
+          f"clean run under {chaos.describe()}")
+    return 0
+
+
 def _lint_default_root():
     import pathlib
     src = pathlib.Path("src/repro")
@@ -655,7 +773,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description="ASMan (HPDC'11) reproduction: run figures and "
-                    "scenarios on the simulated testbed.")
+                    "scenarios on the simulated testbed.",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  success\n"
+            "  1  run failed (violations, regressions, drift)\n"
+            "  2  usage or configuration error\n"
+            "  3  ExecutionError: supervised cells failed "
+            "(exhausted retries, crashes)\n"
+            "  4  CellTimeoutError: cells exceeded their wall-clock "
+            "budgets\n"
+            "  5  CacheIntegrityError: result-cache entries failed "
+            "checksum verification\n"))
     sub = p.add_subparsers(dest="command", required=True)
 
     #: Shared by every simulation-running subcommand.
@@ -678,6 +808,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR", default=None,
         help="result cache directory (default .repro-cache or "
              "$REPRO_CACHE_DIR)")
+    fabric_common.add_argument(
+        "--cell-timeout", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget per cell attempt (pool mode; overruns "
+             "become structured timeout failures, not lost batches)")
+    fabric_common.add_argument(
+        "--batch-deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget for the whole batch")
+    fabric_common.add_argument(
+        "--retries", type=int, metavar="N", default=None,
+        help="failed attempts allowed per cell beyond the first "
+             "(default 2); backoff is deterministic per cell key")
+    fabric_common.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted batch from its journal "
+             "(.repro-cache/journal/): only missing cells re-execute")
+    fabric_common.add_argument(
+        "--no-supervise", action="store_true",
+        help="bypass the supervisor: bare fan-out, no crash recovery, "
+             "timeouts, retry, or journaling")
+    fabric_common.add_argument(
+        "--chaos", metavar="KEY=VALUE,...", default=None,
+        help="inject deterministic driver-level faults into this batch "
+             "(worker kills, stalls, cache corruption; see `repro "
+             "chaos --help`)")
 
     #: Fault injection, shared by the scenario subcommands.
     faults_common = argparse.ArgumentParser(add_help=False)
@@ -811,6 +965,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="fixture directory (default tests/fixtures/golden)")
     cp.set_defaults(func=cmd_conform)
 
+    xp = sub.add_parser(
+        "chaos",
+        help="chaos harness: prove the supervised fabric survives "
+             "worker kills, stalls and cache corruption with "
+             "bit-identical results",
+        parents=[sim_common, fabric_common])
+    xp.add_argument("--workload", default="LU")
+    xp.add_argument("--schedulers", default="credit,asman")
+    xp.add_argument("--scale", type=float, default=0.15)
+    xp.add_argument("--seeds", type=int, nargs="*", default=(1,))
+    xp.set_defaults(func=cmd_chaos)
+
     lp = sub.add_parser("lint", help="simlint static checker")
     lp.add_argument("paths", nargs="*",
                     help="files/directories to lint (default: src/repro; "
@@ -861,8 +1027,35 @@ def _configure_fabric(args):
     if not hasattr(args, "no_cache"):
         return None  # subcommand without fabric options (list/lint)
     from repro import parallel
+    from repro.parallel import supervisor
     if args.jobs is not None:
         parallel.set_default_jobs(args.jobs)
+
+    if args.no_supervise:
+        for option, name in ((args.cell_timeout, "--cell-timeout"),
+                             (args.batch_deadline, "--batch-deadline"),
+                             (args.retries, "--retries"),
+                             (args.resume or None, "--resume"),
+                             (args.chaos, "--chaos")):
+            if option is not None:
+                raise SystemExit(
+                    f"{name} needs the supervisor; drop --no-supervise")
+        supervisor.set_default_policy(None)
+        supervisor.set_default_resume(False)
+        supervisor.set_default_chaos(None)
+    else:
+        policy_kwargs = {}
+        if args.cell_timeout is not None:
+            policy_kwargs["cell_timeout_s"] = args.cell_timeout
+        if args.batch_deadline is not None:
+            policy_kwargs["batch_deadline_s"] = args.batch_deadline
+        if args.retries is not None:
+            policy_kwargs["max_retries"] = args.retries
+        supervisor.set_default_policy(
+            supervisor.SupervisorPolicy(**policy_kwargs))
+        supervisor.set_default_resume(bool(args.resume))
+        supervisor.set_default_chaos(_parse_chaos(args.chaos))
+
     if args.no_cache:
         parallel.set_default_cache(None)
         return None
@@ -874,7 +1067,33 @@ def _configure_fabric(args):
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit status."""
+    """CLI entry point; returns the process exit status.
+
+    Supervision/integrity errors map to distinct exit codes (see
+    ``repro --help``): 3 for :class:`~repro.errors.ExecutionError`,
+    4 for :class:`~repro.errors.CellTimeoutError`, 5 for
+    :class:`~repro.errors.CacheIntegrityError`, 2 for
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    from repro.errors import (CacheIntegrityError, CellTimeoutError,
+                              ConfigurationError, ExecutionError)
+    try:
+        return _main(argv)
+    except CellTimeoutError as exc:  # before ExecutionError: subclass
+        print(f"timeout: {exc}", file=sys.stderr)
+        return 4
+    except ExecutionError as exc:
+        print(f"execution failed: {exc}", file=sys.stderr)
+        return 3
+    except CacheIntegrityError as exc:
+        print(f"cache integrity: {exc}", file=sys.stderr)
+        return 5
+    except ConfigurationError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _main(argv: Optional[Sequence[str]]) -> int:
     args = build_parser().parse_args(argv)
     if getattr(args, "sanitize", False):
         from repro import analysis
@@ -882,8 +1101,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not hasattr(args, "no_cache"):
         return int(args.func(args))
     from repro import parallel
+    from repro.parallel import supervisor
     saved_jobs = parallel.get_default_jobs()
     saved_cache = parallel.get_default_cache()
+    saved_policy = supervisor.get_default_policy()
+    saved_resume = supervisor.get_default_resume()
+    saved_chaos = supervisor.get_default_chaos()
     cache = _configure_fabric(args)
     try:
         status = args.func(args)
@@ -892,12 +1115,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if cache is not None and (cache.hits or cache.misses
                                   or cache.stores):
             print(cache.describe(), file=sys.stderr)
+        report = supervisor.get_last_report()
+        if report is not None and (report.retried or report.timeouts
+                                   or report.pool_rebuilds
+                                   or report.failures or report.resumed
+                                   or report.degraded):
+            print(report.describe(), file=sys.stderr)
         return int(status)
     finally:
         # main() is library-callable (tests, scripts): leave the
         # process-wide fabric defaults the way we found them.
         parallel.set_default_jobs(saved_jobs)
         parallel.set_default_cache(saved_cache)
+        supervisor.set_default_policy(saved_policy)
+        supervisor.set_default_resume(saved_resume)
+        supervisor.set_default_chaos(saved_chaos)
 
 
 if __name__ == "__main__":  # pragma: no cover

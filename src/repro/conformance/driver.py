@@ -150,6 +150,10 @@ def conform(scenarios: int = 200,
             specs.extend(twins[sc.index].values())
 
     results = run_cells(specs, jobs=jobs, cache=cache, progress=progress)
+    # Conformance verdicts need a real result for every cell; a batch
+    # that degraded into structured supervision failures cannot be
+    # judged and must fail loudly, not mis-judge CellFailure values.
+    results.raise_if_failed()
     report.cells_run = len(results)
     report.cache_hits = results.cache_hits
 

@@ -39,3 +39,28 @@ class GuestStateError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload program emitted an invalid operation sequence."""
+
+
+class ExecutionError(ReproError):
+    """A supervised batch could not complete every cell successfully.
+
+    Raised by :meth:`~repro.parallel.executor.CellResults.raise_if_failed`
+    when a batch carries structured
+    :class:`~repro.parallel.supervisor.CellFailure` outcomes (a poison
+    cell that exhausted its retry budget, a batch whose deadline budget
+    ran out, ...).  Maps to CLI exit code 3.
+    """
+
+
+class CellTimeoutError(ExecutionError):
+    """One or more supervised cells exceeded their wall-clock timeout
+    (per-cell ``cell_timeout_s`` or the batch deadline budget) and were
+    recorded as timeout failures.  Maps to CLI exit code 4."""
+
+
+class CacheIntegrityError(ReproError):
+    """A result-cache entry failed its content checksum (bit rot, torn
+    write, tampering).  Read paths quarantine and degrade to a miss;
+    this error is raised only by strict verification
+    (:meth:`~repro.parallel.cache.ResultCache.verify`).  Maps to CLI
+    exit code 5."""

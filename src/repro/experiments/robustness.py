@@ -195,6 +195,10 @@ def robustness_report(workload: str = "LU", scale: float = 0.6,
     batch = [c for cells in single_grid.values() for c in cells]
     batch += [c for cells in multi_grid.values() for c in cells]
     results = run_cells(batch, jobs=jobs, cache=cache)
+    # The matrix aggregates every cell; supervision failures (timeouts,
+    # exhausted retries) must abort with a structured error rather than
+    # average CellFailure placeholders into the degradation numbers.
+    results.raise_if_failed()
 
     report = RobustnessResult(
         description=f"{workload} scale={scale} rate={rate:.3f} "

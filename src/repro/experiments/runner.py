@@ -42,7 +42,9 @@ from repro.workloads.specjbb import SpecJbbWorkload
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.cache import ResultCache
     from repro.parallel.cells import CellSpec
+    from repro.parallel.chaos import ChaosSpec
     from repro.parallel.executor import CellResults
+    from repro.parallel.supervisor import SupervisorPolicy
 
 #: The paper's four VCPU online rates (Section 5.2).
 PAPER_RATES: Tuple[float, ...] = (1.0, 2.0 / 3.0, 0.4, 2.0 / 9.0)
@@ -337,14 +339,20 @@ def run_specjbb(warehouses: int,
 def run_cells(specs: Iterable["CellSpec"],
               jobs: Optional[Union[int, str]] = None,
               cache: Optional["ResultCache"] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> "CellResults":
+              progress: Optional[Callable[[str], None]] = None,
+              policy: Optional["SupervisorPolicy"] = None,
+              resume: Optional[bool] = None,
+              chaos: Optional["ChaosSpec"] = None) -> "CellResults":
     """Batch entry point: run declarative cells on the parallel fabric.
 
     Thin re-export of :func:`repro.parallel.executor.run_cells` so
     experiment code can stay within ``repro.experiments``; see
     :mod:`repro.parallel` for the CellSpec vocabulary, job resolution
-    (``jobs``/``REPRO_JOBS``/fabric default) and the result cache.
+    (``jobs``/``REPRO_JOBS``/fabric default), the result cache, and —
+    when ``policy``/``resume``/``chaos`` are given or fabric-wide
+    supervision defaults are installed — the supervised execution path
+    (:mod:`repro.parallel.supervisor`).
     """
     from repro.parallel.executor import run_cells as _run_cells
-    return _run_cells(specs, jobs=jobs, cache=cache, progress=progress)
+    return _run_cells(specs, jobs=jobs, cache=cache, progress=progress,
+                      policy=policy, resume=resume, chaos=chaos)

@@ -30,35 +30,61 @@ fingerprints (see :mod:`repro.parallel.executor` and docs/parallel.md).
 
 from __future__ import annotations
 
-from repro.parallel.cache import DEFAULT_CACHE_DIR, ResultCache, default_salt
+from repro.parallel.cache import (DEFAULT_CACHE_DIR, CacheIntegrityWarning,
+                                  ResultCache, default_salt)
 from repro.parallel.cells import (CellSpec, WorkloadSpec, canonical_value,
                                   execute_cell, multi_vm_cell,
                                   result_fingerprint, single_vm_cell,
                                   specjbb_cell)
+from repro.parallel.chaos import ChaosSpec
 from repro.parallel.executor import (CellOutcome, CellResults,
                                      get_default_cache, get_default_jobs,
                                      pool_map, resolve_jobs, run_cells,
                                      set_default_cache, set_default_jobs)
+from repro.parallel.supervisor import (BatchJournal, CellFailure,
+                                       SupervisorDegradedWarning,
+                                       SupervisorPolicy, SupervisorReport,
+                                       get_default_chaos,
+                                       get_default_policy,
+                                       get_default_resume, get_last_report,
+                                       run_supervised, set_default_chaos,
+                                       set_default_policy,
+                                       set_default_resume)
 
 __all__ = [
+    "BatchJournal",
+    "CacheIntegrityWarning",
+    "CellFailure",
     "CellOutcome",
     "CellResults",
     "CellSpec",
+    "ChaosSpec",
     "DEFAULT_CACHE_DIR",
     "ResultCache",
+    "SupervisorDegradedWarning",
+    "SupervisorPolicy",
+    "SupervisorReport",
     "WorkloadSpec",
     "canonical_value",
     "default_salt",
     "execute_cell",
     "get_default_cache",
+    "get_default_chaos",
     "get_default_jobs",
+    "get_default_policy",
+    "get_default_resume",
+    "get_last_report",
     "multi_vm_cell",
     "pool_map",
     "resolve_jobs",
     "result_fingerprint",
     "run_cells",
+    "run_supervised",
     "set_default_cache",
+    "set_default_chaos",
     "set_default_jobs",
+    "set_default_policy",
+    "set_default_resume",
     "single_vm_cell",
     "specjbb_cell",
 ]

@@ -32,12 +32,17 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
-                    Tuple, TypeVar, Union)
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, Iterator,
+                    List, Optional, Sequence, Tuple, TypeVar, Union)
 
-from repro.errors import ConfigurationError
+from repro.errors import CellTimeoutError, ConfigurationError, ExecutionError
 from repro.parallel.cache import ResultCache
 from repro.parallel.cells import CellSpec, execute_cell, result_fingerprint
+
+if TYPE_CHECKING:
+    from repro.parallel.chaos import ChaosSpec
+    from repro.parallel.supervisor import (CellFailure, SupervisorPolicy,
+                                           SupervisorReport)
 
 __all__ = [
     "CellOutcome",
@@ -153,8 +158,17 @@ def pool_map(fn: Callable[[_T], _R], items: Sequence[_T],
     workers = min(resolve_jobs(jobs), max(1, len(items)))
     if workers <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with _make_pool(workers) as pool:
-        return list(pool.map(fn, items))
+    pool = _make_pool(workers)
+    try:
+        result = list(pool.map(fn, items))
+    except BaseException:
+        # KeyboardInterrupt (or any other abort) must not leak the
+        # executor: cancel queued work, drop the workers without
+        # blocking on in-flight cells, and re-raise cleanly.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return result
 
 
 # --------------------------------------------------------------------- #
@@ -180,11 +194,14 @@ class CellResults:
 
     def __init__(self, outcomes: Dict[str, CellOutcome]) -> None:
         self._outcomes = {k: outcomes[k] for k in sorted(outcomes)}
+        #: Set by :func:`repro.parallel.supervisor.run_supervised`;
+        #: ``None`` for unsupervised batches.
+        self.supervisor: Optional["SupervisorReport"] = None
 
     def __len__(self) -> int:
         return len(self._outcomes)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[CellOutcome]:
         return iter(self._outcomes.values())
 
     def outcome(self, spec: Union[CellSpec, str]) -> CellOutcome:
@@ -197,6 +214,36 @@ class CellResults:
     @property
     def cache_hits(self) -> int:
         return sum(1 for o in self._outcomes.values() if o.cached)
+
+    def failures(self) -> List["CellFailure"]:
+        """Cells whose outcome is a structured supervision failure."""
+        from repro.parallel.supervisor import CellFailure
+        return [o.value for o in self._outcomes.values()
+                if isinstance(o.value, CellFailure)]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every cell produced a real result (no failures)."""
+        return not self.failures()
+
+    def raise_if_failed(self) -> None:
+        """Raise on supervision failures (the strict callers' gate).
+
+        :class:`~repro.errors.CellTimeoutError` when any failure is a
+        timeout (cell budget or batch deadline), otherwise
+        :class:`~repro.errors.ExecutionError`.
+        """
+        failed = self.failures()
+        if not failed:
+            return
+        detail = "; ".join(
+            f"{f.kind} after {f.attempts} attempt(s): {f.detail}"
+            for f in failed[:3]) + ("" if len(failed) <= 3 else "; …")
+        message = (f"{len(failed)} of {len(self)} supervised cell(s) "
+                   f"failed: {detail}")
+        if any(f.kind == "timeout" for f in failed):
+            raise CellTimeoutError(message)
+        raise ExecutionError(message)
 
     def fingerprints(self) -> Dict[str, int]:
         """key -> 64-bit result fingerprint, in sorted-key order."""
@@ -219,8 +266,10 @@ class CellResults:
 def run_cells(specs: Iterable[CellSpec],
               jobs: Optional[Union[int, str]] = None,
               cache: Optional[ResultCache] = None,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> CellResults:
+              progress: Optional[Callable[[str], None]] = None,
+              policy: Optional["SupervisorPolicy"] = None,
+              resume: Optional[bool] = None,
+              chaos: Optional["ChaosSpec"] = None) -> CellResults:
     """Execute a batch of cells: cache-first, then fan out, then merge.
 
     Duplicate specs are coalesced (each distinct simulation runs once).
@@ -228,7 +277,26 @@ def run_cells(specs: Iterable[CellSpec],
     :func:`set_default_cache`; pass an explicit :class:`ResultCache` to
     override, and note there is no "definitely uncached" sentinel —
     clear the default if a batch must not be cached.
+
+    Supervision: passing ``policy``/``resume``/``chaos`` (or installing
+    fabric-wide defaults via
+    :func:`repro.parallel.supervisor.set_default_policy` and friends —
+    the CLI does) routes the batch through
+    :func:`repro.parallel.supervisor.run_supervised`, which adds
+    timeouts, crash recovery, deterministic retry, and journaled resume
+    while preserving bit-identical merged results.  Without any of
+    those, this is the original direct fan-out.
     """
+    if policy is not None or resume or chaos is not None:
+        supervised = True
+    else:
+        from repro.parallel import supervisor
+        supervised = supervisor.supervision_requested()
+    if supervised:
+        from repro.parallel import supervisor
+        return supervisor.run_supervised(
+            specs, jobs=jobs, cache=cache, policy=policy,
+            progress=progress, resume=bool(resume), chaos=chaos)
     if cache is None:
         cache = _default_cache
     unique: Dict[str, CellSpec] = {}
@@ -256,10 +324,17 @@ def run_cells(specs: Iterable[CellSpec],
         if workers <= 1:
             computed = [(key, execute_cell(spec)) for key, spec in todo]
         else:
-            with _make_pool(workers) as pool:
+            pool = _make_pool(workers)
+            try:
                 values = pool.map(execute_cell,
                                   [spec for _, spec in todo])
                 computed = list(zip((key for key, _ in todo), values))
+            except BaseException:
+                # Ctrl-C (or any abort) cancels queued cells and drops
+                # the pool instead of leaking it; see pool_map.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+            pool.shutdown(wait=True)
         # Sorted-key merge: the aggregation order downstream never
         # depends on worker completion order.
         for key, value in sorted(computed, key=lambda kv: kv[0]):

@@ -88,7 +88,7 @@ class TestSeededFindings:
 
     def test_stream_routes_cover_the_documented_prefixes(self):
         assert {"workload", "monitor", "learner", "faults",
-                "conformance"} == set(STREAM_ROUTES)
+                "conformance", "supervisor", "chaos"} == set(STREAM_ROUTES)
 
     def test_rule_registry_is_three_families(self):
         assert set(INTERPROC_RULES) == {
